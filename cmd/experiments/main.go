@@ -1,0 +1,170 @@
+// Command experiments regenerates the paper's complete evaluation —
+// Table I and Figs. 5–11 — and writes the aggregated tables and CSV series
+// to a results directory.
+//
+// The full reproduction (the paper's 200 s × 5 repetitions):
+//
+//	experiments -out results
+//
+// A quick pass for smoke-testing the pipeline:
+//
+//	experiments -duration 30 -reps 2 -out /tmp/results
+//
+// Single artefacts:
+//
+//	experiments -only fig7
+//	experiments -only table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mtsim"
+)
+
+func main() {
+	var (
+		duration  = flag.Float64("duration", 200, "simulated seconds per run")
+		reps      = flag.Int("reps", 5, "repetitions per (protocol, speed) cell")
+		speeds    = flag.String("speeds", "2,5,10,15,20", "comma-separated MAXSPEED values (m/s)")
+		protocols = flag.String("protocols", "DSR,AODV,MTS", "comma-separated protocols")
+		nodes     = flag.Int("nodes", 50, "number of nodes")
+		seedBase  = flag.Int64("seedbase", 1, "first seed; repetition r uses seedbase+r")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		only      = flag.String("only", "all", "what to produce: all, table1, timeseries, fig5..fig11")
+		outDir    = flag.String("out", "", "directory for CSV/markdown output (empty = stdout only)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	base := mtsim.DefaultConfig()
+	base.Nodes = *nodes
+	base.Duration = mtsim.Seconds(*duration)
+
+	if *only == "table1" {
+		out, err := mtsim.Table1(base, *seedBase)
+		fail(err)
+		fmt.Print(out)
+		writeFile(*outDir, "table1.txt", out)
+		return
+	}
+
+	if *only == "timeseries" {
+		// Throughput over simulation time, one series per protocol (the
+		// Fig. 9 caption's view), at MAXSPEED 10 m/s.
+		var csv strings.Builder
+		csv.WriteString("t_s")
+		var series [][]mtsim.Sample
+		protos := splitList(*protocols)
+		for _, proto := range protos {
+			cfg := base
+			cfg.Protocol = proto
+			cfg.MaxSpeed = 10
+			cfg.Seed = *seedBase
+			s, err := mtsim.Build(cfg)
+			fail(err)
+			ser, _ := s.RunSampled(10 * mtsim.Second)
+			series = append(series, ser)
+			csv.WriteString("," + proto + "_pps")
+		}
+		csv.WriteString("\n")
+		for i := range series[0] {
+			fmt.Fprintf(&csv, "%.0f", series[0][i].At.Seconds())
+			for p := range series {
+				fmt.Fprintf(&csv, ",%.2f", series[p][i].ThroughputPps)
+			}
+			csv.WriteString("\n")
+		}
+		fmt.Print(csv.String())
+		writeFile(*outDir, "fig9_timeseries.csv", csv.String())
+		return
+	}
+
+	sweep := mtsim.PaperSweep(base)
+	sweep.Reps = *reps
+	sweep.SeedBase = *seedBase
+	sweep.Parallelism = *parallel
+	sweep.Protocols = splitList(*protocols)
+	sweep.Speeds = parseSpeeds(*speeds)
+
+	total := len(sweep.Protocols) * len(sweep.Speeds) * sweep.Reps
+	var done int64
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "running %d simulations (%s × %v m/s × %d reps, %.0fs each)...\n",
+			total, *protocols, sweep.Speeds, sweep.Reps, *duration)
+		sweep.OnRun = func(m *mtsim.Metrics) {
+			n := atomic.AddInt64(&done, 1)
+			fmt.Fprintf(os.Stderr, "\r%3d/%d done", n, total)
+		}
+	}
+	start := time.Now()
+	res, err := sweep.Run()
+	fail(err)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\rsweep finished in %v\n\n", time.Since(start).Round(time.Second))
+	}
+
+	var md strings.Builder
+	for _, fig := range mtsim.PaperFigures() {
+		if *only != "all" && *only != fig.ID {
+			continue
+		}
+		table := res.Table(fig)
+		fmt.Println(table)
+		fmt.Println("paper:", fig.Expect)
+		fmt.Println()
+		md.WriteString(table)
+		md.WriteString("paper: " + fig.Expect + "\n\n")
+		writeFile(*outDir, fig.ID+".csv", res.CSV(fig))
+	}
+	if *only == "all" {
+		out, err := mtsim.Table1(base, *seedBase)
+		fail(err)
+		fmt.Print(out)
+		writeFile(*outDir, "table1.txt", out)
+		writeFile(*outDir, "figures.txt", md.String())
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSpeeds(s string) []float64 {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		fail(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func writeFile(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	fail(os.MkdirAll(dir, 0o755))
+	fail(os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

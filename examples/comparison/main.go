@@ -1,0 +1,35 @@
+// Comparison: a miniature version of the paper's full evaluation — the
+// three protocols swept over node speed, rendering two of the figures
+// (participating nodes, Fig. 5, and TCP throughput, Fig. 9) as tables.
+// The full 200-second, five-repetition reproduction is cmd/experiments.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtsim"
+)
+
+func main() {
+	base := mtsim.DefaultConfig()
+	base.Duration = 60 * mtsim.Second
+
+	sweep := mtsim.PaperSweep(base)
+	sweep.Speeds = []float64{2, 10, 20}
+	sweep.Reps = 3
+
+	fmt.Printf("running %d simulations...\n\n",
+		len(sweep.Protocols)*len(sweep.Speeds)*sweep.Reps)
+	res, err := sweep.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []string{"fig5", "fig9"} {
+		fig, _ := mtsim.FigureByID(id)
+		fmt.Println(res.Table(fig))
+		fmt.Println("paper:", fig.Expect)
+		fmt.Println()
+	}
+}

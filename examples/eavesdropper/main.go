@@ -1,0 +1,45 @@
+// Eavesdropper: the paper's core security claim, §IV-B. One randomly
+// chosen intermediate node passively collects every TCP data packet it can
+// decode. Running the identical scenario (same seed ⇒ same mobility, same
+// endpoints, same eavesdropper) under DSR, AODV and MTS shows how multipath
+// spreading starves the eavesdropper: MTS yields the most participating
+// relays, the most even relay distribution (Eq. 4) and the lowest
+// worst-case interception ratio (Eq. 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtsim"
+)
+
+func main() {
+	fmt.Println("identical scenario under three protocols (seed 7, 15 m/s, 120 s):")
+	fmt.Println()
+	fmt.Printf("%-6s %14s %12s %14s %12s\n",
+		"proto", "participating", "relay σ", "interception", "worst-case")
+	for _, proto := range mtsim.Protocols() {
+		cfg := mtsim.DefaultConfig()
+		cfg.Protocol = proto
+		cfg.MaxSpeed = 15
+		cfg.Duration = 120 * mtsim.Second
+		cfg.Seed = 7
+		m, err := mtsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %14d %12.4f %14.3f %12.3f\n",
+			proto, m.Participating, m.RelayStdDev, m.InterceptionRatio, m.HighestInterception)
+	}
+	fmt.Println()
+	fmt.Println("Table I-style relay normalization for the DSR run:")
+	cfg := mtsim.DefaultConfig()
+	cfg.MaxSpeed = 15
+	cfg.Duration = 120 * mtsim.Second
+	out, err := mtsim.Table1(cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

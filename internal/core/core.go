@@ -1,0 +1,352 @@
+// Package core implements MTS (Multipath TCP Security), the routing
+// protocol proposed by Li & Kwok in "A New Multipath Routing Approach to
+// Enhancing TCP Security in Ad Hoc Wireless Networks" (ICPP Workshops 2005)
+// — the paper's primary contribution.
+//
+// MTS is an on-demand multipath protocol with two distinguishing features
+// (§III of the paper):
+//
+//  1. Adaptive best-route switching. The destination stores up to five
+//     disjoint paths discovered by one RREQ flood and periodically sends
+//     "checking" packets along all of them. On every checking round the
+//     source switches its current route to the path whose checking packet
+//     arrived first — the currently fastest path — rather than waiting for
+//     the active route to break. A TCP session therefore migrates across
+//     paths continuously, which spreads packets over many relays and
+//     starves any single eavesdropper (Figs. 5–7).
+//
+//  2. Immediate first reply. The destination answers the first RREQ copy
+//     instantly (no disjointness-collection delay as in SPME/Lee-Lin-Kwok),
+//     so TCP starts with minimum latency; additional disjoint paths are
+//     collected opportunistically from later copies.
+//
+// Mechanics reproduced from the paper: intermediate nodes forward only the
+// first RREQ copy and never answer from cache (§III-B); disjointness at the
+// destination uses the Marina–Das next-hop/last-hop rule (§III-C); checking
+// packets carry a checkID cached by intermediate nodes as the freshness
+// "entry ID" that builds forward paths (§III-D); checking failures produce
+// checking-error packets that make the destination delete the path; a new
+// RREQ (larger broadcast ID) flushes all stored paths; MAC-layer feedback
+// generates RERRs toward the source, which fails over to another live path
+// or re-discovers (§III-E).
+package core
+
+import (
+	"mtsim/internal/packet"
+	"mtsim/internal/routing"
+	"mtsim/internal/sim"
+)
+
+// Config holds the MTS parameters. Defaults follow the paper; the extra
+// knobs exist for the ablation benchmarks.
+type Config struct {
+	// MaxPaths bounds the disjoint paths stored at the destination
+	// ("the number of disjoint paths is not more than five", §III-B).
+	MaxPaths int
+	// CheckPeriod is the route-checking interval; "typically two to four
+	// seconds is acceptable" (§III-D).
+	CheckPeriod sim.Duration
+	// SwitchOnCheck enables best-route switching at the source (§III-E).
+	// Disabling it degrades MTS to a backup-path protocol (ablation).
+	SwitchOnCheck bool
+	// SwitchMargin is the grace window for the current path in the
+	// first-arrival race: if the current path's checking packet arrives
+	// within this margin of the round's first, the source keeps it. This
+	// suppresses ping-pong switches caused by queueing noise (a TCP
+	// killer: every switch reorders packets and triggers spurious fast
+	// retransmits) while a genuinely slower or dead current path is still
+	// abandoned within one margin.
+	SwitchMargin sim.Duration
+	// EntryTTL is how long a forwarding entry installed by a checking
+	// packet or RREP stays usable without being refreshed.
+	EntryTTL sim.Duration
+	// SessionIdle stops the destination's checking timer when no data has
+	// arrived for this long.
+	SessionIdle sim.Duration
+	// StaleAfter is how long the source keeps using a path that has not
+	// delivered a checking packet (or RREP). Zero derives 2.5×CheckPeriod:
+	// two missed checking rounds declare the path dead at the source,
+	// mirroring how the destination deletes paths on checking errors.
+	StaleAfter sim.Duration
+
+	DiscoveryRetries int
+	DiscoveryTimeout sim.Duration
+	SendBufCap       int
+	SendBufAge       sim.Duration
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		MaxPaths:         5,
+		CheckPeriod:      3 * sim.Second,
+		SwitchOnCheck:    true,
+		SwitchMargin:     25 * sim.Millisecond,
+		EntryTTL:         7 * sim.Second, // > 2×CheckPeriod: survives one lost round
+		SessionIdle:      30 * sim.Second,
+		DiscoveryRetries: 3,
+		DiscoveryTimeout: sim.Second,
+		SendBufCap:       64,
+		SendBufAge:       8 * sim.Second,
+	}
+}
+
+// Control packet wire sizes (bytes).
+const (
+	rreqBase     = 16
+	rrepBase     = 16
+	checkBase    = 16
+	checkErrSize = 16
+	rerrSize     = 20
+	addrSize     = 4
+)
+
+// RREQ is the MTS route request: "packet type, source address, destination
+// address, broadcast ID, hop count from the source, and list of
+// intermediate nodes" (§III-B).
+type RREQ struct {
+	Orig   packet.NodeID
+	Target packet.NodeID
+	BID    uint32
+	Hops   int
+	Record []packet.NodeID // [Orig, n1, ...]; Target appends itself
+}
+
+// RREP answers the first RREQ copy immediately: "packet type, source
+// address, destination address, route reply ID, hop count, and list of
+// intermediate nodes" (§III-B). It is carried back along the reverse path.
+type RREP struct {
+	Route  []packet.NodeID // full path S … D
+	BID    uint32
+	PathID int
+}
+
+// Check is the route-checking packet: "packet type, checking packet ID,
+// hop count, and list of intermediate nodes" (§III-D). It travels D → S
+// along one stored disjoint path; intermediate nodes cache CheckID as the
+// freshness entry ID toward the destination.
+type Check struct {
+	From    packet.NodeID // the checking destination (route's D)
+	To      packet.NodeID // the session source
+	CheckID uint32
+	PathID  int
+	Route   []packet.NodeID // travel order D … S
+}
+
+// CheckErr reports a checking packet that could not be forwarded; it
+// returns to the destination, which deletes the failed path (§III-D).
+type CheckErr struct {
+	PathID  int
+	CheckID uint32
+}
+
+// RERR reports a data-forwarding failure back to the source, which fails
+// over to another checked path or re-discovers (§III-E).
+type RERR struct {
+	Dst    packet.NodeID // unreachable destination
+	PathID int
+}
+
+// srcPath is the source's view of one disjoint path.
+type srcPath struct {
+	next        packet.NodeID // first hop from the source
+	lastCheckID uint32
+	lastHeard   sim.Time
+	alive       bool
+}
+
+// srcState is per-destination state at a traffic source.
+type srcState struct {
+	paths           map[int]*srcPath
+	current         int
+	haveRoute       bool
+	lastSwitchRound uint32
+	// pendingSwitch defers a round's switch decision by SwitchMargin so
+	// the current path can defend its place (see Config.SwitchMargin).
+	pendingSwitch *sim.Event
+}
+
+// storedPath is the destination's record of one disjoint path.
+type storedPath struct {
+	id    int
+	route []packet.NodeID // S … D
+	alive bool
+}
+
+// dstState is per-source state at a traffic destination.
+type dstState struct {
+	bid          uint32
+	paths        []*storedPath
+	timer        *sim.Event
+	lastData     sim.Time
+	lastDataPath int
+}
+
+// fwdEntry is an intermediate node's forwarding entry toward a destination,
+// installed by an RREP or refreshed by checking packets.
+type fwdEntry struct {
+	next    packet.NodeID
+	checkID uint32
+	at      sim.Time
+}
+
+// Stats counts MTS events for metrics and tests.
+type Stats struct {
+	Discoveries  uint64
+	ChecksSent   uint64
+	CheckErrs    uint64
+	Switches     uint64
+	PathsStored  uint64
+	PathsDeleted uint64
+	RERRsSent    uint64
+}
+
+// Router is one node's MTS instance.
+type Router struct {
+	env routing.Env
+	cfg Config
+
+	bid     uint32
+	seen    map[seenKey]bool
+	buffer  *routing.SendBuffer
+	pending map[packet.NodeID]*discovery
+
+	src map[packet.NodeID]*srcState         // keyed by destination
+	dst map[packet.NodeID]*dstState         // keyed by source
+	fwd map[packet.NodeID]map[int]*fwdEntry // dest -> pathID -> entry
+
+	checkID    uint32 // this node's checking-round counter as a destination
+	nextPathID int    // monotone per node; avoids aliasing across flushes
+
+	Stats Stats
+}
+
+type seenKey struct {
+	orig packet.NodeID
+	bid  uint32
+}
+
+type discovery struct {
+	attempts int
+	timer    *sim.Event
+}
+
+// staleAfter returns the source-side path freshness horizon.
+func (r *Router) staleAfter() sim.Duration {
+	if r.cfg.StaleAfter > 0 {
+		return r.cfg.StaleAfter
+	}
+	return r.cfg.CheckPeriod*2 + r.cfg.CheckPeriod/2
+}
+
+// usable reports whether a source-side path can carry data now: alive and
+// recently confirmed by a checking packet or RREP.
+func (r *Router) usable(sp *srcPath) bool {
+	if sp == nil || !sp.alive {
+		return false
+	}
+	return r.env.Scheduler().Now().Sub(sp.lastHeard) <= r.staleAfter()
+}
+
+// New creates an MTS router bound to env.
+func New(env routing.Env, cfg Config) *Router {
+	return &Router{
+		env:     env,
+		cfg:     cfg,
+		seen:    make(map[seenKey]bool),
+		pending: make(map[packet.NodeID]*discovery),
+		src:     make(map[packet.NodeID]*srcState),
+		dst:     make(map[packet.NodeID]*dstState),
+		fwd:     make(map[packet.NodeID]map[int]*fwdEntry),
+		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge,
+			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
+	}
+}
+
+// Name implements routing.Protocol.
+func (r *Router) Name() string { return "MTS" }
+
+// Start implements routing.Protocol.
+func (r *Router) Start() {}
+
+// Receive implements routing.Protocol.
+func (r *Router) Receive(p *packet.Packet, from packet.NodeID) {
+	switch p.Kind {
+	case packet.KindRREQ:
+		r.handleRREQ(p, from)
+	case packet.KindRREP:
+		r.handleRREP(p, from)
+	case packet.KindCheck:
+		r.handleCheck(p, from)
+	case packet.KindCheckErr:
+		r.handleCheckErr(p, from)
+	case packet.KindRERR:
+		r.handleRERR(p, from)
+	default:
+		r.handleData(p, from)
+	}
+}
+
+// setFwd installs/refreshes a forwarding entry toward dst for pathID.
+func (r *Router) setFwd(dst packet.NodeID, pathID int, next packet.NodeID, checkID uint32) {
+	m := r.fwd[dst]
+	if m == nil {
+		m = make(map[int]*fwdEntry)
+		r.fwd[dst] = m
+	}
+	m[pathID] = &fwdEntry{next: next, checkID: checkID, at: r.env.Scheduler().Now()}
+}
+
+// liveFwd returns the freshest usable forwarding entry toward dst,
+// preferring the requested pathID. Entries whose next hop appears in the
+// packet's trail are skipped: falling back across paths must never send a
+// packet to a node it already visited (ping-pong loops between the entries
+// of different disjoint paths). Stale entries are pruned as a side effect.
+func (r *Router) liveFwd(dst packet.NodeID, pathID int, trail []packet.NodeID) (next packet.NodeID, chosen int, ok bool) {
+	m := r.fwd[dst]
+	if m == nil {
+		return 0, 0, false
+	}
+	visited := func(n packet.NodeID) bool {
+		for _, v := range trail {
+			if v == n {
+				return true
+			}
+		}
+		return false
+	}
+	now := r.env.Scheduler().Now()
+	cutoff := now.Add(-r.cfg.EntryTTL)
+	if e, found := m[pathID]; found {
+		if e.at >= cutoff {
+			if !visited(e.next) {
+				return e.next, pathID, true
+			}
+		} else {
+			delete(m, pathID)
+		}
+	}
+	bestID := -1
+	var best *fwdEntry
+	for id, e := range m {
+		if e.at < cutoff {
+			delete(m, id)
+			continue
+		}
+		if visited(e.next) {
+			continue
+		}
+		better := best == nil || e.checkID > best.checkID ||
+			(e.checkID == best.checkID && e.at > best.at) ||
+			(e.checkID == best.checkID && e.at == best.at && id < bestID)
+		if better {
+			best, bestID = e, id
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.next, bestID, true
+}
+
+var _ routing.Protocol = (*Router)(nil)

@@ -1,0 +1,57 @@
+// Package eaves implements the paper's eavesdropping node (§IV-B): a
+// randomly selected intermediate node that "performs the same procedures as
+// other legitimate nodes to relay packets but also collects unauthorized
+// data within its radio range". It taps the node's MAC promiscuously and
+// records every TCP data packet it can decode — whether addressed to it,
+// relayed through it, or merely overheard.
+package eaves
+
+import (
+	"mtsim/internal/node"
+	"mtsim/internal/packet"
+)
+
+// Eavesdropper counts the data packets one node can intercept.
+type Eavesdropper struct {
+	ID packet.NodeID
+
+	seen map[uint64]bool // distinct logical payloads (DataID)
+
+	// Frames counts every overheard data frame, including duplicates and
+	// retransmissions.
+	Frames uint64
+}
+
+// Attach installs an eavesdropper tap on the given node.
+func Attach(n *node.Node) *Eavesdropper {
+	e := &Eavesdropper{
+		ID:   n.ID(),
+		seen: make(map[uint64]bool),
+	}
+	n.AddTap(e.tap)
+	return e
+}
+
+func (e *Eavesdropper) tap(f *packet.Frame) {
+	if f.Kind != packet.FrameData || f.Payload == nil {
+		return
+	}
+	p := f.Payload
+	if p.Kind != packet.KindData || p.DataID == 0 {
+		return
+	}
+	e.Frames++
+	e.seen[p.DataID] = true
+}
+
+// Distinct returns Pe: the number of distinct data packets intercepted.
+func (e *Eavesdropper) Distinct() uint64 { return uint64(len(e.seen)) }
+
+// Ratio returns the interception ratio Ri = Pe / Pr (Eq. 1) given the
+// number of distinct packets that arrived at the destination.
+func (e *Eavesdropper) Ratio(pr uint64) float64 {
+	if pr == 0 {
+		return 0
+	}
+	return float64(e.Distinct()) / float64(pr)
+}

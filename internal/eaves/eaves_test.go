@@ -1,0 +1,116 @@
+package eaves
+
+import (
+	"testing"
+
+	"mtsim/internal/geo"
+	"mtsim/internal/mac"
+	"mtsim/internal/mobility"
+	"mtsim/internal/node"
+	"mtsim/internal/packet"
+	"mtsim/internal/phy"
+	"mtsim/internal/sim"
+)
+
+// nullUpper satisfies mac.Upper for a bare node.
+type nullProto struct{}
+
+func (nullProto) Name() string                             { return "NULL" }
+func (nullProto) Start()                                   {}
+func (nullProto) Send(*packet.Packet)                      {}
+func (nullProto) Receive(*packet.Packet, packet.NodeID)    {}
+func (nullProto) LinkFailed(*packet.Packet, packet.NodeID) {}
+
+func buildNet(t *testing.T) (*sim.Scheduler, []*node.Node, *packet.UIDSource) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	ch := phy.NewChannel(sched, 250, 550)
+	uids := &packet.UIDSource{}
+	rng := sim.NewRNG(9)
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 100}}
+	var nodes []*node.Node
+	for i, p := range pts {
+		n := node.New(packet.NodeID(i), sched, ch, mac.Default80211b(),
+			&mobility.Static{P: p}, rng.Derive("n"), uids)
+		n.SetProtocol(nullProto{})
+		nodes = append(nodes, n)
+	}
+	return sched, nodes, uids
+}
+
+func dataPkt(uids *packet.UIDSource, dataID uint64) *packet.Packet {
+	return &packet.Packet{
+		UID: uids.Next(), Kind: packet.KindData, Size: 1040,
+		Src: 0, Dst: 1, TTL: 8, DataID: dataID,
+		TCP: &packet.TCPHeader{Flow: 1},
+	}
+}
+
+func TestEavesdropperCountsDistinctAndFrames(t *testing.T) {
+	sched, nodes, uids := buildNet(t)
+	ev := Attach(nodes[2]) // bystander in range of the 0->1 link
+	nodes[0].SendMac(dataPkt(uids, 1), 1)
+	nodes[0].SendMac(dataPkt(uids, 2), 1)
+	nodes[0].SendMac(dataPkt(uids, 2), 1) // retransmission of payload 2
+	sched.RunUntil(sim.Time(sim.Second))
+
+	if ev.Frames != 3 {
+		t.Fatalf("frames = %d, want 3", ev.Frames)
+	}
+	if ev.Distinct() != 2 {
+		t.Fatalf("distinct = %d, want 2", ev.Distinct())
+	}
+}
+
+func TestEavesdropperIgnoresControlAndAcks(t *testing.T) {
+	sched, nodes, uids := buildNet(t)
+	ev := Attach(nodes[2])
+	// Routing control packet.
+	nodes[0].SendMac(&packet.Packet{
+		UID: uids.Next(), Kind: packet.KindRREQ, Size: 64, Src: 0, Dst: 1, TTL: 8,
+	}, packet.Broadcast)
+	// TCP ACK.
+	nodes[0].SendMac(&packet.Packet{
+		UID: uids.Next(), Kind: packet.KindAck, Size: 40, Src: 0, Dst: 1, TTL: 8,
+		TCP: &packet.TCPHeader{Flow: 1, Ack: true},
+	}, 1)
+	// Data without DataID (not transport payload).
+	nodes[0].SendMac(&packet.Packet{
+		UID: uids.Next(), Kind: packet.KindData, Size: 500, Src: 0, Dst: 1, TTL: 8,
+	}, 1)
+	sched.RunUntil(sim.Time(sim.Second))
+
+	if ev.Frames != 0 || ev.Distinct() != 0 {
+		t.Fatalf("eavesdropper counted non-payload traffic: frames=%d distinct=%d",
+			ev.Frames, ev.Distinct())
+	}
+}
+
+func TestEavesdropperRatio(t *testing.T) {
+	sched, nodes, uids := buildNet(t)
+	ev := Attach(nodes[2])
+	for i := uint64(1); i <= 4; i++ {
+		nodes[0].SendMac(dataPkt(uids, i), 1)
+	}
+	sched.RunUntil(sim.Time(sim.Second))
+	if got := ev.Ratio(8); got != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", got)
+	}
+	if got := ev.Ratio(0); got != 0 {
+		t.Fatalf("ratio with Pr=0 = %v, want 0", got)
+	}
+}
+
+func TestEavesdropperSeesRelayedTraffic(t *testing.T) {
+	// The eavesdropper also counts packets addressed to itself (it relays
+	// like any legitimate node, §IV-B).
+	sched, nodes, uids := buildNet(t)
+	ev := Attach(nodes[2])
+	p := dataPkt(uids, 42)
+	p.Dst = 2
+	nodes[0].SendMac(p, 2)
+	sched.RunUntil(sim.Time(sim.Second))
+	if ev.Distinct() != 1 {
+		t.Fatal("packet addressed to eavesdropper not counted")
+	}
+}

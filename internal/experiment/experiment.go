@@ -1,0 +1,203 @@
+// Package experiment runs the paper's evaluation: parameter sweeps over
+// protocol × MAXSPEED × repetition, executed on a worker pool (one
+// goroutine per independent simulation — the simulator itself is
+// single-threaded and deterministic), aggregated into the series behind
+// each figure and rendered as aligned text/CSV/markdown tables.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"mtsim/internal/metrics"
+	"mtsim/internal/scenario"
+	"mtsim/internal/stats"
+)
+
+// Sweep declares a protocol × speed × repetition grid over a base
+// configuration.
+type Sweep struct {
+	Base      scenario.Config
+	Protocols []string
+	Speeds    []float64 // MAXSPEED values (m/s)
+	Reps      int
+	SeedBase  int64
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+	// OnRun, when set, is called after each completed run (progress
+	// reporting). It may be called from multiple goroutines.
+	OnRun func(m *metrics.RunMetrics)
+}
+
+// PaperSweep returns the paper's §IV-A evaluation grid over the given base
+// configuration: DSR/AODV/MTS at MAXSPEED ∈ {2,5,10,15,20} m/s, 5
+// repetitions.
+func PaperSweep(base scenario.Config) Sweep {
+	return Sweep{
+		Base:      base,
+		Protocols: []string{"DSR", "AODV", "MTS"},
+		Speeds:    []float64{2, 5, 10, 15, 20},
+		Reps:      5,
+		SeedBase:  1,
+	}
+}
+
+// CellKey identifies one aggregation cell.
+type CellKey struct {
+	Protocol string
+	Speed    float64
+}
+
+// Result holds every run of a sweep, indexed by cell.
+type Result struct {
+	Sweep Sweep
+	Runs  map[CellKey][]*metrics.RunMetrics
+}
+
+// Run executes the sweep. Repetition r uses seed SeedBase+r for every
+// protocol and speed, pairing the comparisons: identical mobility and
+// traffic endpoints across protocols.
+func (s Sweep) Run() (*Result, error) {
+	type job struct {
+		key  CellKey
+		seed int64
+	}
+	var jobs []job
+	for _, p := range s.Protocols {
+		for _, v := range s.Speeds {
+			for r := 0; r < s.Reps; r++ {
+				jobs = append(jobs, job{key: CellKey{p, v}, seed: s.SeedBase + int64(r)})
+			}
+		}
+	}
+
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	res := &Result{Sweep: s, Runs: make(map[CellKey][]*metrics.RunMetrics)}
+	var mu sync.Mutex
+	var firstErr error
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cfg := s.Base
+				cfg.Protocol = j.key.Protocol
+				cfg.MaxSpeed = j.key.Speed
+				cfg.Seed = j.seed
+				m, err := scenario.RunOne(cfg)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s speed=%g seed=%d: %w",
+							j.key.Protocol, j.key.Speed, j.seed, err)
+					}
+				} else {
+					res.Runs[j.key] = append(res.Runs[j.key], m)
+				}
+				mu.Unlock()
+				if err == nil && s.OnRun != nil {
+					s.OnRun(m)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Deterministic ordering inside each cell regardless of completion
+	// order.
+	for _, runs := range res.Runs {
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Seed < runs[j].Seed })
+	}
+	return res, nil
+}
+
+// Mean returns the mean of metric over a cell's repetitions.
+func (r *Result) Mean(key CellKey, metric func(*metrics.RunMetrics) float64) float64 {
+	return stats.Mean(r.values(key, metric))
+}
+
+// CI returns the 95% confidence half-width of metric over a cell.
+func (r *Result) CI(key CellKey, metric func(*metrics.RunMetrics) float64) float64 {
+	return stats.CI95(r.values(key, metric))
+}
+
+func (r *Result) values(key CellKey, metric func(*metrics.RunMetrics) float64) []float64 {
+	runs := r.Runs[key]
+	out := make([]float64, 0, len(runs))
+	for _, m := range runs {
+		out = append(out, metric(m))
+	}
+	return out
+}
+
+// Series returns the per-speed means for one protocol, in Speeds order.
+func (r *Result) Series(proto string, metric func(*metrics.RunMetrics) float64) []float64 {
+	out := make([]float64, 0, len(r.Sweep.Speeds))
+	for _, v := range r.Sweep.Speeds {
+		out = append(out, r.Mean(CellKey{proto, v}, metric))
+	}
+	return out
+}
+
+// Table renders the figure data as an aligned text table: one row per
+// speed, one column per protocol, mean ± 95% CI.
+func (r *Result) Table(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s", fig.ID, fig.Title)
+	if fig.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", fig.Unit)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-14s", "maxspeed(m/s)")
+	for _, p := range r.Sweep.Protocols {
+		fmt.Fprintf(&b, "%20s", p)
+	}
+	b.WriteString("\n")
+	for _, v := range r.Sweep.Speeds {
+		fmt.Fprintf(&b, "%-14g", v)
+		for _, p := range r.Sweep.Protocols {
+			key := CellKey{p, v}
+			fmt.Fprintf(&b, "%13.4f ±%5.3f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the figure data as CSV (speed, then mean and ci per
+// protocol).
+func (r *Result) CSV(fig Figure) string {
+	var b strings.Builder
+	b.WriteString("maxspeed")
+	for _, p := range r.Sweep.Protocols {
+		fmt.Fprintf(&b, ",%s_mean,%s_ci95", p, p)
+	}
+	b.WriteString("\n")
+	for _, v := range r.Sweep.Speeds {
+		fmt.Fprintf(&b, "%g", v)
+		for _, p := range r.Sweep.Protocols {
+			key := CellKey{p, v}
+			fmt.Fprintf(&b, ",%.6f,%.6f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mtsim/internal/geo"
+	"mtsim/internal/metrics"
+	"mtsim/internal/packet"
+	"mtsim/internal/scenario"
+	"mtsim/internal/sim"
+)
+
+// quickBase returns a small fast base config for harness tests.
+func quickBase() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Nodes = 20
+	cfg.Duration = 5 * sim.Second
+	cfg.TCPStart = sim.Time(500 * sim.Millisecond)
+	return cfg
+}
+
+func TestSweepRunsAllCells(t *testing.T) {
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"AODV", "MTS"},
+		Speeds:    []float64{2, 10},
+		Reps:      2,
+		SeedBase:  1,
+	}
+	var count int64
+	s.OnRun = func(*metrics.RunMetrics) { atomic.AddInt64(&count, 1) }
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("ran %d simulations, want 8", count)
+	}
+	for _, p := range s.Protocols {
+		for _, v := range s.Speeds {
+			runs := res.Runs[CellKey{p, v}]
+			if len(runs) != 2 {
+				t.Fatalf("cell %s/%g has %d runs", p, v, len(runs))
+			}
+			if runs[0].Seed >= runs[1].Seed {
+				t.Fatal("runs not sorted by seed")
+			}
+		}
+	}
+}
+
+func TestSweepPairing(t *testing.T) {
+	// Same repetition index ⇒ same seed across protocols, so mobility and
+	// endpoints are identical (paired comparison).
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"AODV", "MTS"},
+		Speeds:    []float64{5},
+		Reps:      2,
+		SeedBase:  7,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Runs[CellKey{"AODV", 5}]
+	b := res.Runs[CellKey{"MTS", 5}]
+	for i := range a {
+		if a[i].Seed != b[i].Seed {
+			t.Fatalf("rep %d seeds differ: %d vs %d", i, a[i].Seed, b[i].Seed)
+		}
+		if a[i].EavesdropperID != b[i].EavesdropperID {
+			t.Fatalf("rep %d eavesdropper differs: %d vs %d",
+				i, a[i].EavesdropperID, b[i].EavesdropperID)
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	mk := func(par int) *Result {
+		s := Sweep{
+			Base:        quickBase(),
+			Protocols:   []string{"MTS"},
+			Speeds:      []float64{5, 15},
+			Reps:        2,
+			SeedBase:    3,
+			Parallelism: par,
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := mk(1)
+	parallel := mk(4)
+	for key, runs := range serial.Runs {
+		pruns := parallel.Runs[key]
+		for i := range runs {
+			if runs[i].Distinct != pruns[i].Distinct || runs[i].EventsRun != pruns[i].EventsRun {
+				t.Fatalf("cell %v run %d differs between serial and parallel execution", key, i)
+			}
+		}
+	}
+}
+
+func TestSweepErrorPropagates(t *testing.T) {
+	base := quickBase()
+	base.Flows = []scenario.FlowSpec{{Src: 0, Dst: 0}} // invalid
+	s := Sweep{Base: base, Protocols: []string{"MTS"}, Speeds: []float64{5}, Reps: 1}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("invalid config did not propagate an error")
+	}
+}
+
+func TestTableAndCSVRendering(t *testing.T) {
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"AODV", "MTS"},
+		Speeds:    []float64{2, 10},
+		Reps:      2,
+		SeedBase:  1,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := FigureByID("fig10")
+	if !ok {
+		t.Fatal("fig10 missing")
+	}
+	table := res.Table(fig)
+	if !strings.Contains(table, "fig10") || !strings.Contains(table, "AODV") {
+		t.Fatalf("table rendering:\n%s", table)
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 2+len(s.Speeds) {
+		t.Fatalf("table has %d lines:\n%s", len(lines), table)
+	}
+	csv := res.CSV(fig)
+	if !strings.HasPrefix(csv, "maxspeed,AODV_mean,AODV_ci95,MTS_mean,MTS_ci95") {
+		t.Fatalf("csv header:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 1+len(s.Speeds) {
+		t.Fatalf("csv rows:\n%s", csv)
+	}
+}
+
+func TestPaperFiguresComplete(t *testing.T) {
+	figs := PaperFigures()
+	if len(figs) != 7 {
+		t.Fatalf("figures = %d, want 7 (Figs. 5-11)", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.Metric == nil || f.Title == "" || f.Expect == "" {
+			t.Fatalf("incomplete figure %q", f.ID)
+		}
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+		if !seen[id] {
+			t.Fatalf("missing %s", id)
+		}
+	}
+	if _, ok := FigureByID("fig99"); ok {
+		t.Fatal("phantom figure found")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	base := quickBase()
+	// Static chain so the participating set is predictable.
+	base.Placement = []geo.Point{{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 400, Y: 0}, {X: 600, Y: 0}}
+	base.Field = geo.Field(700, 100)
+	base.Flows = []scenario.FlowSpec{{Src: 0, Dst: 3}}
+	base.Eavesdropper = 1
+	base.Duration = 10 * sim.Second
+	out, err := Table1(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "β", "γ", "α", "σ", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesOrder(t *testing.T) {
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"MTS"},
+		Speeds:    []float64{2, 10, 20},
+		Reps:      1,
+		SeedBase:  1,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.Series("MTS", func(m *metrics.RunMetrics) float64 { return m.MaxSpeed })
+	want := []float64{2, 10, 20}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("series order: %v", series)
+		}
+	}
+	_ = packet.NodeID(0)
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"mtsim/internal/metrics"
+	"mtsim/internal/scenario"
+)
+
+// Figure describes one of the paper's evaluation figures: which metric it
+// plots and what qualitative shape the paper reports.
+type Figure struct {
+	ID     string
+	Title  string
+	Unit   string
+	Metric func(*metrics.RunMetrics) float64
+	// Expect documents the paper's qualitative result for EXPERIMENTS.md.
+	Expect string
+}
+
+// PaperFigures returns the definitions of Figs. 5–11 in paper order.
+func PaperFigures() []Figure {
+	return []Figure{
+		{
+			ID:     "fig5",
+			Title:  "Number of participating nodes",
+			Unit:   "nodes",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.Participating) },
+			Expect: "MTS highest at every speed (source keeps switching across disjoint paths); DSR and AODV lower.",
+		},
+		{
+			ID:     "fig6",
+			Title:  "Standard deviation of number of relayed packets (normalized, Eq. 4)",
+			Unit:   "σ of γ",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.RelayStdDev },
+			Expect: "MTS lowest: relaying is spread evenly, no single node dominates.",
+		},
+		{
+			ID:     "fig7",
+			Title:  "Highest interception ratio (worst-case eavesdropper, max β / Pr)",
+			Unit:   "ratio",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.HighestInterception },
+			Expect: "MTS lowest: the most-used relay sees the smallest share of traffic.",
+		},
+		{
+			ID:     "fig8",
+			Title:  "Average end-to-end delay",
+			Unit:   "s",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.AvgDelaySec },
+			Expect: "MTS lowest (always rides the currently fastest path); DSR < AODV at low speed (cache hits).",
+		},
+		{
+			ID:     "fig9",
+			Title:  "Average TCP throughput",
+			Unit:   "pkt/s",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.ThroughputPps },
+			Expect: "MTS highest; DSR degrades as speed grows (stale caches idle the connection).",
+		},
+		{
+			ID:     "fig10",
+			Title:  "Average rate of successful delivery",
+			Unit:   "fraction",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.DeliveryRate },
+			Expect: "DSR drops sharply with speed; AODV and MTS stay roughly flat.",
+		},
+		{
+			ID:     "fig11",
+			Title:  "Control overhead (routing packet transmissions)",
+			Unit:   "packets",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.ControlPkts) },
+			Expect: "MTS highest (periodic checking packets); DSR lowest (cache idleness).",
+		},
+	}
+}
+
+// FigureByID finds a figure definition.
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range PaperFigures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// Table1 runs the paper's Table I demonstration: one DSR scenario, the
+// per-participating-node relay counts, their normalization, and σ.
+func Table1(base scenario.Config, seed int64) (string, error) {
+	cfg := base
+	cfg.Protocol = "DSR"
+	cfg.Seed = seed
+	m, err := scenario.RunOne(cfg)
+	if err != nil {
+		return "", err
+	}
+	return RenderTable1(m), nil
+}
+
+// RenderTable1 formats a run's relay table in the layout of Table I.
+func RenderTable1(m *metrics.RunMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — Normalization of the received packets in the participating nodes (%s, maxspeed=%g m/s, seed=%d)\n",
+		m.Protocol, m.MaxSpeed, m.Seed)
+	fmt.Fprintf(&b, "%-8s%12s%12s\n", "Node ID", "β", "γ")
+	for _, row := range m.RelayRows {
+		fmt.Fprintf(&b, "%-8d%12d%11.5f%%\n", row.Node, row.Beta, row.Gamma*100)
+	}
+	fmt.Fprintf(&b, "%-8s%12d\n", "α", m.Alpha)
+	fmt.Fprintf(&b, "%-8s%11.2f%%\n", "σ", m.RelayStdDev*100)
+	return b.String()
+}

@@ -1,0 +1,69 @@
+// Package geo provides the small amount of 2-D geometry the simulator
+// needs: points, rectangles, distances, and a uniform-grid spatial index for
+// range queries over node positions.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance to q in metres.
+func (p Point) DistanceTo(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistanceSqTo returns the squared Euclidean distance to q; use it in hot
+// paths to avoid the square root when only comparisons are needed.
+func (p Point) DistanceSqTo(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the point translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Lerp returns the point a fraction f of the way from p to q. f outside
+// [0,1] extrapolates.
+func (p Point) Lerp(q Point, f float64) Point {
+	return Point{p.X + (q.X-p.X)*f, p.Y + (q.Y-p.Y)*f}
+}
+
+// String formats the point with centimetre precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle [MinX,MaxX] × [MinY,MaxY] in metres.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Field returns the w×h rectangle anchored at the origin, the usual
+// simulation field shape (the paper uses 1000 m × 1000 m).
+func Field(w, h float64) Rect { return Rect{0, 0, w, h} }
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns p constrained to lie within r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}

@@ -1,0 +1,144 @@
+package geo
+
+import "math"
+
+// Grid is a uniform-grid spatial index mapping integer item IDs to points.
+// Cell size should be on the order of the query radius; range queries then
+// touch only the 3×3 (or slightly larger) block of cells around the centre
+// instead of scanning every item.
+//
+// The simulator uses it to find the receivers of a radio transmission: all
+// nodes within carrier-sense range of a transmitter.
+type Grid struct {
+	cell   float64
+	origin Point
+	cols   int
+	rows   int
+	cells  [][]int32       // cell index -> item ids
+	where  map[int32]int   // item id -> cell index
+	points map[int32]Point // item id -> exact position
+}
+
+// NewGrid creates an index over the given bounds with the given cell size.
+// Items may lie slightly outside the bounds (they are clamped to the edge
+// cells), which tolerates floating-point drift at field borders.
+func NewGrid(bounds Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geo: non-positive cell size")
+	}
+	cols := int(math.Ceil(bounds.Width()/cellSize)) + 1
+	rows := int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		cell:   cellSize,
+		origin: Point{bounds.MinX, bounds.MinY},
+		cols:   cols,
+		rows:   rows,
+		cells:  make([][]int32, cols*rows),
+		where:  make(map[int32]int),
+		points: make(map[int32]Point),
+	}
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Update inserts the item or moves it to a new position.
+func (g *Grid) Update(id int32, p Point) {
+	newCell := g.cellIndex(p)
+	if old, ok := g.where[id]; ok {
+		if old == newCell {
+			g.points[id] = p
+			return
+		}
+		g.removeFromCell(id, old)
+	}
+	g.cells[newCell] = append(g.cells[newCell], id)
+	g.where[id] = newCell
+	g.points[id] = p
+}
+
+// Remove deletes the item; removing an absent item is a no-op.
+func (g *Grid) Remove(id int32) {
+	cell, ok := g.where[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(id, cell)
+	delete(g.where, id)
+	delete(g.points, id)
+}
+
+func (g *Grid) removeFromCell(id int32, cell int) {
+	items := g.cells[cell]
+	for i, v := range items {
+		if v == id {
+			items[i] = items[len(items)-1]
+			g.cells[cell] = items[:len(items)-1]
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed items.
+func (g *Grid) Len() int { return len(g.where) }
+
+// Position returns the stored position of an item.
+func (g *Grid) Position(id int32) (Point, bool) {
+	p, ok := g.points[id]
+	return p, ok
+}
+
+// WithinRange appends to dst the IDs of all items within radius of centre
+// (inclusive) and returns the extended slice. The caller may pass a reused
+// buffer to avoid allocation. Order is unspecified but deterministic for a
+// given history of updates.
+func (g *Grid) WithinRange(centre Point, radius float64, dst []int32) []int32 {
+	r2 := radius * radius
+	minCX := int((centre.X - radius - g.origin.X) / g.cell)
+	maxCX := int((centre.X + radius - g.origin.X) / g.cell)
+	minCY := int((centre.Y - radius - g.origin.Y) / g.cell)
+	maxCY := int((centre.Y + radius - g.origin.Y) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[cy*g.cols+cx] {
+				if g.points[id].DistanceSqTo(centre) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}

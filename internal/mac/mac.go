@@ -1,0 +1,188 @@
+// Package mac implements an IEEE 802.11b DCF MAC: CSMA/CA with physical and
+// virtual carrier sense (NAV), slotted binary-exponential backoff, optional
+// RTS/CTS for large unicast frames, positive ACKs with retry limits, and a
+// drop-tail interface queue.
+//
+// The paper's evaluation (like ns-2's wireless stack it was run on) relies
+// on two MAC behaviours this package reproduces faithfully:
+//
+//   - contention and collisions on a shared medium, which create the
+//     delay/throughput differences between protocols, and
+//   - link-failure feedback: when a unicast frame exhausts its retries the
+//     routing protocol is notified, which is how DSR/AODV/MTS detect broken
+//     links ("the feedback from the MAC layer", §III-E).
+//
+// Simplification (documented): EIFS after corrupted receptions is not
+// modelled; corrupted frames are simply ignored. This slightly favours all
+// protocols equally and does not affect their ordering.
+package mac
+
+import (
+	"mtsim/internal/packet"
+	"mtsim/internal/phy"
+	"mtsim/internal/sim"
+)
+
+// Upper is the interface the MAC reports to (the node's network layer).
+type Upper interface {
+	// Deliver hands up a received network-layer packet addressed to this
+	// node (or broadcast), along with the transmitting neighbour.
+	Deliver(p *packet.Packet, from packet.NodeID)
+	// LinkFailed reports that a unicast packet could not be delivered to
+	// next after exhausting MAC retries.
+	LinkFailed(p *packet.Packet, next packet.NodeID)
+}
+
+// Config holds the 802.11 timing and policy parameters.
+type Config struct {
+	SlotTime sim.Duration
+	SIFS     sim.Duration
+	DIFS     sim.Duration
+	// PLCPOverhead is the preamble+header time prepended to every frame.
+	PLCPOverhead sim.Duration
+
+	DataRate  float64 // bit/s for unicast data frames
+	BasicRate float64 // bit/s for control frames and broadcasts
+
+	CWMin, CWMax    int
+	ShortRetryLimit int // attempts for RTS and small data frames
+	LongRetryLimit  int // attempts for data frames sent after RTS/CTS
+
+	// RTSThreshold: unicast payloads of at least this many bytes use the
+	// RTS/CTS exchange. Set very large to disable RTS/CTS entirely.
+	RTSThreshold int
+
+	QueueCap int // interface queue capacity (packets)
+
+	MacHeaderBytes int
+	RTSBytes       int
+	CTSBytes       int
+	AckBytes       int
+}
+
+// Default80211b returns the 802.11b parameter set used by the paper's ns-2
+// setup: 11 Mb/s data, 2 Mb/s basic rate, long PLCP preamble, 50-packet
+// interface queue.
+func Default80211b() Config {
+	return Config{
+		SlotTime:        20 * sim.Microsecond,
+		SIFS:            10 * sim.Microsecond,
+		DIFS:            50 * sim.Microsecond,
+		PLCPOverhead:    192 * sim.Microsecond,
+		DataRate:        11e6,
+		BasicRate:       2e6,
+		CWMin:           31,
+		CWMax:           1023,
+		ShortRetryLimit: 7,
+		LongRetryLimit:  4,
+		RTSThreshold:    250,
+		QueueCap:        50,
+		MacHeaderBytes:  28,
+		RTSBytes:        20,
+		CTSBytes:        14,
+		AckBytes:        14,
+	}
+}
+
+// maxPropSlack absorbs propagation delay in response timeouts.
+const maxPropSlack = 5 * sim.Microsecond
+
+type jobState int
+
+const (
+	stIdle jobState = iota
+	stContend
+	stTxRTS
+	stWaitCTS
+	stTxData
+	stWaitAck
+)
+
+// txJob is one queued network packet with its link-layer destination.
+type txJob struct {
+	pkt  *packet.Packet
+	next packet.NodeID
+	// attempts
+	shortRetries int
+	longRetries  int
+	useRTS       bool
+	seq          uint16
+}
+
+// Stats counts MAC-level happenings; read by metrics and tests.
+type Stats struct {
+	FramesSent    [4]uint64 // indexed by packet.FrameKind
+	Delivered     uint64
+	Duplicates    uint64
+	LinkFailures  uint64
+	QueueDrops    uint64
+	Retries       uint64
+	ResponsesSent uint64
+}
+
+// Mac is one node's 802.11 DCF instance.
+type Mac struct {
+	id      packet.NodeID
+	sched   *sim.Scheduler
+	radio   *phy.Radio
+	channel *phy.Channel
+	cfg     Config
+	up      Upper
+	rng     *sim.RNG
+	uids    *packet.UIDSource
+
+	queue []*txJob
+	cur   *txJob
+	state jobState
+	cw    int
+
+	backoffSlots int
+	backoffStart sim.Time
+
+	difsEvent    *sim.Event
+	backoffEvent *sim.Event
+	timeoutEvent *sim.Event
+	navEvent     *sim.Event
+
+	nav        sim.Time
+	responding int // scheduled or in-flight CTS/ACK responses
+
+	seqCounter uint16
+	dupCache   map[packet.NodeID]uint16
+
+	// Tap, when set, sees every successfully decoded frame before address
+	// filtering — promiscuous mode (eavesdropper, DSR tap, traces).
+	Tap func(f *packet.Frame)
+	// OnSend, when set, sees every frame this MAC puts on the air
+	// (metrics: control overhead counts per-hop transmissions).
+	OnSend func(f *packet.Frame)
+
+	Stats Stats
+}
+
+// New creates a MAC bound to a radio on the given channel. The caller must
+// register the returned MAC as the radio's listener (the scenario builder
+// does this by attaching the radio with the MAC as listener; see node.New).
+func New(id packet.NodeID, sched *sim.Scheduler, ch *phy.Channel, cfg Config, up Upper, rng *sim.RNG, uids *packet.UIDSource) *Mac {
+	return &Mac{
+		id:       id,
+		sched:    sched,
+		channel:  ch,
+		cfg:      cfg,
+		up:       up,
+		rng:      rng,
+		uids:     uids,
+		cw:       cfg.CWMin,
+		dupCache: make(map[packet.NodeID]uint16),
+	}
+}
+
+// BindRadio attaches the radio this MAC transmits and receives through.
+// Must be called exactly once before the simulation starts.
+func (m *Mac) BindRadio(r *phy.Radio) { m.radio = r }
+
+// ID returns the node ID this MAC serves.
+func (m *Mac) ID() packet.NodeID { return m.id }
+
+// QueueLen returns the current interface-queue depth (tests, stats).
+func (m *Mac) QueueLen() int { return len(m.queue) }

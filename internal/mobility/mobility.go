@@ -1,0 +1,116 @@
+// Package mobility implements node movement models. The paper's evaluation
+// uses the random waypoint model: each node repeatedly picks a uniform random
+// destination in the field and a uniform random speed in (0, MAXSPEED], moves
+// there in a straight line, pauses, and repeats.
+//
+// Models are queried lazily with a monotonically non-decreasing clock (the
+// discrete-event loop guarantees this), so waypoint legs are generated on
+// demand from a per-node random stream — deterministic for a given seed.
+package mobility
+
+import (
+	"mtsim/internal/geo"
+	"mtsim/internal/sim"
+)
+
+// Model yields a node's position over time. PositionAt must be called with
+// non-decreasing times; implementations may advance internal state.
+type Model interface {
+	PositionAt(t sim.Time) geo.Point
+}
+
+// Static is a Model that never moves. Useful for unit tests and fixed
+// topologies (chains, grids).
+type Static struct {
+	P geo.Point
+}
+
+// PositionAt implements Model.
+func (s *Static) PositionAt(sim.Time) geo.Point { return s.P }
+
+// Waypoint is one leg of a random-waypoint trajectory.
+type waypointLeg struct {
+	from, to  geo.Point
+	start     sim.Time // movement start
+	arrive    sim.Time // arrival at `to`
+	pauseTill sim.Time // end of the pause after arrival
+}
+
+// RandomWaypoint implements the random waypoint model within a rectangular
+// field. MinSpeed > 0 avoids the well-known "stuck node" pathology of
+// speed→0 draws; the paper draws uniformly from (0, MAXSPEED] so we use a
+// small positive floor by default.
+type RandomWaypoint struct {
+	field    geo.Rect
+	minSpeed float64 // m/s
+	maxSpeed float64 // m/s
+	pause    sim.Duration
+	rng      *sim.RNG
+	leg      waypointLeg
+}
+
+// NewRandomWaypoint creates a random-waypoint model. The initial position is
+// drawn uniformly from the field. maxSpeed must be positive; minSpeed is
+// clamped to a small positive value.
+func NewRandomWaypoint(field geo.Rect, minSpeed, maxSpeed float64, pause sim.Duration, rng *sim.RNG) *RandomWaypoint {
+	if maxSpeed <= 0 {
+		panic("mobility: non-positive max speed")
+	}
+	const floor = 0.01 // m/s; avoids quasi-infinite legs
+	if minSpeed < floor {
+		minSpeed = floor
+	}
+	if minSpeed > maxSpeed {
+		minSpeed = maxSpeed
+	}
+	m := &RandomWaypoint{
+		field:    field,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		rng:      rng,
+	}
+	start := m.randomPoint()
+	m.leg = waypointLeg{from: start, to: start, start: 0, arrive: 0, pauseTill: 0}
+	m.nextLeg(0)
+	return m
+}
+
+func (m *RandomWaypoint) randomPoint() geo.Point {
+	return geo.Point{
+		X: m.rng.Uniform(m.field.MinX, m.field.MaxX),
+		Y: m.rng.Uniform(m.field.MinY, m.field.MaxY),
+	}
+}
+
+// nextLeg draws the next destination and speed, starting movement at `at`.
+func (m *RandomWaypoint) nextLeg(at sim.Time) {
+	from := m.leg.to
+	to := m.randomPoint()
+	speed := m.rng.Uniform(m.minSpeed, m.maxSpeed)
+	dist := from.DistanceTo(to)
+	travel := sim.Seconds(dist / speed)
+	m.leg = waypointLeg{
+		from:      from,
+		to:        to,
+		start:     at,
+		arrive:    at.Add(travel),
+		pauseTill: at.Add(travel).Add(m.pause),
+	}
+}
+
+// PositionAt implements Model. Times must be non-decreasing across calls.
+func (m *RandomWaypoint) PositionAt(t sim.Time) geo.Point {
+	for t >= m.leg.pauseTill {
+		m.nextLeg(m.leg.pauseTill)
+	}
+	if t >= m.leg.arrive {
+		return m.leg.to // pausing at destination
+	}
+	span := m.leg.arrive.Sub(m.leg.start)
+	if span <= 0 {
+		return m.leg.to
+	}
+	f := float64(t.Sub(m.leg.start)) / float64(span)
+	return m.leg.from.Lerp(m.leg.to, f)
+}

@@ -1,0 +1,125 @@
+package mobility
+
+import (
+	"testing"
+
+	"mtsim/internal/geo"
+	"mtsim/internal/sim"
+)
+
+func TestStatic(t *testing.T) {
+	s := &Static{P: geo.Point{X: 5, Y: 7}}
+	if s.PositionAt(0) != (geo.Point{X: 5, Y: 7}) {
+		t.Fatal("static moved")
+	}
+	if s.PositionAt(100*sim.Time(sim.Second)) != (geo.Point{X: 5, Y: 7}) {
+		t.Fatal("static moved over time")
+	}
+}
+
+func TestRandomWaypointStaysInField(t *testing.T) {
+	field := geo.Field(1000, 1000)
+	m := NewRandomWaypoint(field, 0, 20, sim.Second, sim.NewRNG(42))
+	for s := 0; s <= 2000; s++ {
+		p := m.PositionAt(sim.Time(s) * sim.Time(sim.Second) / 10)
+		if !field.Contains(p) {
+			t.Fatalf("node left field at t=%ds: %v", s, p)
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	field := geo.Field(1000, 1000)
+	maxSpeed := 10.0
+	m := NewRandomWaypoint(field, 0, maxSpeed, 0, sim.NewRNG(7))
+	prev := m.PositionAt(0)
+	step := sim.Seconds(0.1)
+	for i := 1; i < 20000; i++ {
+		now := sim.Time(i) * sim.Time(step)
+		p := m.PositionAt(now)
+		d := prev.DistanceTo(p)
+		// Allow tiny numerical slack.
+		if d > maxSpeed*step.Seconds()*1.0001 {
+			t.Fatalf("speed exceeded max: moved %.3f m in %.1fs at t=%v", d, step.Seconds(), now)
+		}
+		prev = p
+	}
+}
+
+func TestRandomWaypointDeterminism(t *testing.T) {
+	field := geo.Field(500, 500)
+	m1 := NewRandomWaypoint(field, 0, 5, sim.Second, sim.NewRNG(99))
+	m2 := NewRandomWaypoint(field, 0, 5, sim.Second, sim.NewRNG(99))
+	for s := 0; s < 500; s++ {
+		tm := sim.Time(s) * sim.Time(sim.Second)
+		if m1.PositionAt(tm) != m2.PositionAt(tm) {
+			t.Fatalf("same seed diverged at t=%v", tm)
+		}
+	}
+}
+
+func TestRandomWaypointActuallyMoves(t *testing.T) {
+	field := geo.Field(1000, 1000)
+	m := NewRandomWaypoint(field, 1, 20, 0, sim.NewRNG(3))
+	start := m.PositionAt(0)
+	moved := false
+	for s := 1; s < 100; s++ {
+		if m.PositionAt(sim.Time(s)*sim.Time(sim.Second)) != start {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("node never moved in 100s")
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	// With an enormous pause, the node reaches its first destination and
+	// then stays put for the rest of a short observation window.
+	field := geo.Field(100, 100)
+	m := NewRandomWaypoint(field, 5, 5, sim.Seconds(1e6), sim.NewRNG(11))
+	// Max leg length is the field diagonal ~141.4 m at 5 m/s -> < 29 s.
+	p30 := m.PositionAt(sim.Time(30) * sim.Time(sim.Second))
+	for s := 31; s < 100; s++ {
+		if m.PositionAt(sim.Time(s)*sim.Time(sim.Second)) != p30 {
+			t.Fatal("node moved during pause")
+		}
+	}
+}
+
+func TestRandomWaypointZeroMaxSpeedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRandomWaypoint(geo.Field(10, 10), 0, 0, 0, sim.NewRNG(1))
+}
+
+func TestRandomWaypointMinAboveMax(t *testing.T) {
+	// minSpeed greater than maxSpeed is clamped, not fatal.
+	m := NewRandomWaypoint(geo.Field(100, 100), 50, 10, 0, sim.NewRNG(1))
+	p := m.PositionAt(sim.Time(sim.Second))
+	if !geo.Field(100, 100).Contains(p) {
+		t.Fatalf("position out of field: %v", p)
+	}
+}
+
+func TestRandomWaypointLongHorizon(t *testing.T) {
+	// Jumping far ahead in one query must fast-forward through many legs
+	// without getting stuck.
+	m := NewRandomWaypoint(geo.Field(1000, 1000), 0, 2, sim.Second, sim.NewRNG(5))
+	p := m.PositionAt(sim.Time(100000) * sim.Time(sim.Second))
+	if !geo.Field(1000, 1000).Contains(p) {
+		t.Fatalf("position out of field after long jump: %v", p)
+	}
+}
+
+func BenchmarkRandomWaypointQuery(b *testing.B) {
+	m := NewRandomWaypoint(geo.Field(1000, 1000), 0, 20, sim.Second, sim.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PositionAt(sim.Time(i) * sim.Time(sim.Millisecond))
+	}
+}

@@ -1,0 +1,180 @@
+// Package node assembles one mobile node: mobility model, radio, 802.11
+// MAC, routing protocol and transport attachment points. It implements
+// mac.Upper (receiving from the MAC) and routing.Env (serving the routing
+// protocol), so it is the junction box between layers.
+package node
+
+import (
+	"mtsim/internal/geo"
+	"mtsim/internal/mac"
+	"mtsim/internal/mobility"
+	"mtsim/internal/packet"
+	"mtsim/internal/phy"
+	"mtsim/internal/routing"
+	"mtsim/internal/sim"
+)
+
+// FlowHandler receives transport packets for a registered flow. It is a
+// type alias so that plain function literals satisfy interface methods
+// declared with the unnamed signature (e.g. tcp.Network.RegisterFlow).
+type FlowHandler = func(p *packet.Packet, from packet.NodeID)
+
+// Node is one simulated host.
+type Node struct {
+	id    packet.NodeID
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	uids  *packet.UIDSource
+
+	Mob   mobility.Model
+	Radio *phy.Radio
+	Mac   *mac.Mac
+	Proto routing.Protocol
+
+	flows map[int]FlowHandler
+	taps  []func(f *packet.Frame)
+
+	// Metric hooks, set by the scenario's collector. Any may be nil.
+	OnRelay     func(p *packet.Packet)                     // relayed a data packet (β)
+	OnRouteDrop func(p *packet.Packet, reason string)      // routing-layer drop
+	OnLocal     func(p *packet.Packet, from packet.NodeID) // delivered locally
+}
+
+// FrameTap is implemented by routing protocols that listen promiscuously
+// (DSR's snooping). The node wires it to the MAC's tap automatically.
+type FrameTap interface {
+	TapFrame(f *packet.Frame)
+}
+
+// New wires a node: attaches a radio for the mobility model to the channel
+// with the node's MAC as listener. The routing protocol is attached
+// afterwards with SetProtocol (protocols need the Env, i.e. the node).
+func New(id packet.NodeID, sched *sim.Scheduler, ch *phy.Channel, macCfg mac.Config, mob mobility.Model, rng *sim.RNG, uids *packet.UIDSource) *Node {
+	n := &Node{
+		id:    id,
+		sched: sched,
+		rng:   rng,
+		uids:  uids,
+		Mob:   mob,
+		flows: make(map[int]FlowHandler),
+	}
+	n.Mac = mac.New(id, sched, ch, macCfg, n, rng.Derive("mac"), uids)
+	n.Radio = ch.Attach(id, mob.PositionAt, n.Mac)
+	n.Mac.BindRadio(n.Radio)
+	return n
+}
+
+// SetProtocol binds the routing protocol. Must be called before Start.
+func (n *Node) SetProtocol(p routing.Protocol) {
+	n.Proto = p
+	if tap, ok := p.(FrameTap); ok {
+		n.AddTap(tap.TapFrame)
+	}
+}
+
+// AddTap registers a promiscuous frame listener (eavesdropper, snooping
+// protocols, trace writers). Multiple listeners are supported.
+func (n *Node) AddTap(h func(f *packet.Frame)) {
+	n.taps = append(n.taps, h)
+	if len(n.taps) == 1 {
+		n.Mac.Tap = func(f *packet.Frame) {
+			for _, t := range n.taps {
+				t(f)
+			}
+		}
+	}
+}
+
+// Originate hands a locally generated packet to the routing protocol;
+// transport endpoints call this (tcp.Network interface).
+func (n *Node) Originate(p *packet.Packet) {
+	if n.Proto != nil {
+		n.Proto.Send(p)
+	}
+}
+
+// Start initialises the routing protocol timers.
+func (n *Node) Start() {
+	if n.Proto != nil {
+		n.Proto.Start()
+	}
+}
+
+// RegisterFlow attaches a transport handler for the given flow ID.
+func (n *Node) RegisterFlow(flow int, h FlowHandler) { n.flows[flow] = h }
+
+// Position returns the node's current location.
+func (n *Node) Position() geo.Point { return n.Mob.PositionAt(n.sched.Now()) }
+
+// --- mac.Upper ---
+
+// Deliver implements mac.Upper: packets arriving from the radio go to the
+// routing protocol, which either consumes them (control), forwards them, or
+// calls DeliverLocal.
+func (n *Node) Deliver(p *packet.Packet, from packet.NodeID) {
+	if n.Proto != nil {
+		n.Proto.Receive(p, from)
+	}
+}
+
+// LinkFailed implements mac.Upper.
+func (n *Node) LinkFailed(p *packet.Packet, next packet.NodeID) {
+	if n.Proto != nil {
+		n.Proto.LinkFailed(p, next)
+	}
+}
+
+// --- routing.Env ---
+
+// ID implements routing.Env.
+func (n *Node) ID() packet.NodeID { return n.id }
+
+// Scheduler implements routing.Env.
+func (n *Node) Scheduler() *sim.Scheduler { return n.sched }
+
+// RNG implements routing.Env.
+func (n *Node) RNG() *sim.RNG { return n.rng }
+
+// UIDs implements routing.Env.
+func (n *Node) UIDs() *packet.UIDSource { return n.uids }
+
+// SendMac implements routing.Env.
+func (n *Node) SendMac(p *packet.Packet, next packet.NodeID) { n.Mac.Send(p, next) }
+
+// DropQueued implements routing.Env.
+func (n *Node) DropQueued(pred func(p *packet.Packet, next packet.NodeID) bool) int {
+	return n.Mac.DropWhere(pred)
+}
+
+// DeliverLocal implements routing.Env: the packet reached its end-to-end
+// destination.
+func (n *Node) DeliverLocal(p *packet.Packet, from packet.NodeID) {
+	if n.OnLocal != nil {
+		n.OnLocal(p, from)
+	}
+	if p.TCP != nil {
+		if h, ok := n.flows[p.TCP.Flow]; ok {
+			h(p, from)
+		}
+	}
+}
+
+// NotifyRelay implements routing.Env.
+func (n *Node) NotifyRelay(p *packet.Packet) {
+	if n.OnRelay != nil {
+		n.OnRelay(p)
+	}
+}
+
+// NotifyDrop implements routing.Env.
+func (n *Node) NotifyDrop(p *packet.Packet, reason string) {
+	if n.OnRouteDrop != nil {
+		n.OnRouteDrop(p, reason)
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ mac.Upper   = (*Node)(nil)
+	_ routing.Env = (*Node)(nil)
+)

@@ -1,0 +1,57 @@
+package packet
+
+import (
+	"fmt"
+
+	"mtsim/internal/sim"
+)
+
+// FrameKind discriminates MAC-layer frame types in the 802.11 DCF exchange.
+type FrameKind uint8
+
+// MAC frame kinds.
+const (
+	FrameData FrameKind = iota // carries a network-layer Packet
+	FrameRTS
+	FrameCTS
+	FrameAck
+)
+
+var frameNames = [...]string{"MAC-DATA", "MAC-RTS", "MAC-CTS", "MAC-ACK"}
+
+// String returns the conventional short name of the frame kind.
+func (k FrameKind) String() string {
+	if int(k) < len(frameNames) {
+		return frameNames[k]
+	}
+	return fmt.Sprintf("FRAME(%d)", uint8(k))
+}
+
+// Frame is a MAC-layer frame as seen by the radio channel. TxFrom/TxTo are
+// the per-hop addresses; the network-layer endpoints live in Payload.
+type Frame struct {
+	UID     uint64
+	Kind    FrameKind
+	TxFrom  NodeID
+	TxTo    NodeID // Broadcast for link-layer broadcasts
+	Seq     uint16 // MAC sequence number (duplicate detection on retransmit)
+	Retry   bool   // set on MAC retransmissions
+	Payload *Packet
+
+	// NAV is how long, beyond the end of this frame, the medium will stay
+	// reserved for the remainder of the exchange (CTS/DATA/ACK). Stations
+	// overhearing the frame defer virtually for this long.
+	NAV sim.Duration
+}
+
+// IsBroadcast reports whether the frame is link-layer broadcast.
+func (f *Frame) IsBroadcast() bool { return f.TxTo == Broadcast }
+
+// String summarises the frame for traces and test failures.
+func (f *Frame) String() string {
+	p := ""
+	if f.Payload != nil {
+		p = " [" + f.Payload.String() + "]"
+	}
+	return fmt.Sprintf("%s %d->%d%s", f.Kind, f.TxFrom, f.TxTo, p)
+}

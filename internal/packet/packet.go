@@ -1,0 +1,152 @@
+// Package packet defines the simulator's wire formats: network-layer
+// packets (TCP segments and routing control messages) and the MAC-layer
+// frames that carry them hop by hop. It also provides per-simulation unique
+// ID allocation so packets can be tracked across hops, copies, and
+// retransmissions.
+package packet
+
+import (
+	"fmt"
+
+	"mtsim/internal/sim"
+)
+
+// NodeID identifies a node. IDs are small non-negative integers assigned by
+// the scenario; Broadcast addresses every node in radio range.
+type NodeID int32
+
+// Broadcast is the all-nodes link-layer destination.
+const Broadcast NodeID = -1
+
+// Kind discriminates network-layer packet types across all protocols.
+type Kind uint8
+
+// Packet kinds. The routing kinds are shared by DSR, AODV, SMR and MTS;
+// each protocol attaches its own header struct via the Routing field.
+const (
+	KindData     Kind = iota // TCP data segment
+	KindAck                  // TCP acknowledgement
+	KindRREQ                 // route request (flooded)
+	KindRREP                 // route reply (unicast)
+	KindRERR                 // route error (unicast toward source)
+	KindCheck                // MTS route-checking packet (destination → source)
+	KindCheckErr             // MTS checking-error packet (back toward destination)
+)
+
+var kindNames = [...]string{"DATA", "ACK", "RREQ", "RREP", "RERR", "CHECK", "CHECKERR"}
+
+// String returns the conventional short name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// IsControl reports whether the kind is a routing-protocol control packet
+// (counted as control overhead, Fig. 11) as opposed to transport traffic.
+func (k Kind) IsControl() bool { return k >= KindRREQ }
+
+// Header sizes in bytes, matching the ns-2 conventions the paper's
+// simulations used (20-byte IP header, 20-byte TCP header, 1000-byte
+// payload).
+const (
+	IPHeaderBytes  = 20
+	TCPHeaderBytes = 20
+	DefaultPayload = 1000
+)
+
+// TCPHeader carries the transport fields the simulator models. Like ns-2's
+// TCP agents, sequence numbers count packets, not bytes.
+type TCPHeader struct {
+	Flow int   // flow identifier (scenario-assigned)
+	Seq  int64 // data: segment number; ack: highest cumulatively received
+	Ack  bool  // true for pure acknowledgements
+	// SentAt is the transmission time of the segment this header's RTT
+	// sample should be measured against (echoed by the sink).
+	SentAt sim.Time
+}
+
+// Packet is a network-layer packet. Packets delivered by the PHY/MAC must be
+// treated as immutable by receivers; to modify and forward, use Copy.
+type Packet struct {
+	UID  uint64 // unique per allocation (copies get fresh UIDs)
+	Kind Kind
+	Size int // bytes including network/transport headers
+
+	Src, Dst NodeID // end-to-end endpoints
+	TTL      int
+
+	CreatedAt sim.Time // origination time (end-to-end delay measurement)
+
+	// DataID identifies the logical payload: TCP retransmissions of the
+	// same segment share a DataID, so the eavesdropper can count distinct
+	// intercepted information (Eq. 1) rather than raw frames.
+	DataID uint64
+
+	TCP *TCPHeader
+
+	// Routing holds the protocol-specific control header (e.g. *aodv.RREQ).
+	Routing any
+
+	// SourceRoute, when non-nil, is the full node list the packet must
+	// follow (DSR data, MTS checking packets). SRIndex is the position of
+	// the current holder within it.
+	SourceRoute []NodeID
+	SRIndex     int
+
+	// PathID tags MTS data packets with the source-chosen path so
+	// intermediate nodes keep a packet on a single loop-free path.
+	PathID int
+
+	// Salvage counts how many times DSR intermediate nodes have re-routed
+	// this packet after a link failure; bounded to prevent ping-ponging.
+	Salvage uint8
+
+	// Trail accumulates the nodes a hop-by-hop data packet has actually
+	// traversed (MTS uses it to route RERRs back to the source; traces and
+	// tests use it for path assertions).
+	Trail []NodeID
+}
+
+// Copy returns a shallow copy with a fresh UID and duplicated SourceRoute,
+// suitable for modification and forwarding. Routing headers are shared;
+// protocols that mutate headers must copy them explicitly (see CloneRoute).
+func (p *Packet) Copy(uids *UIDSource) *Packet {
+	q := *p
+	q.UID = uids.Next()
+	if p.SourceRoute != nil {
+		q.SourceRoute = append([]NodeID(nil), p.SourceRoute...)
+	}
+	if p.Trail != nil {
+		q.Trail = append([]NodeID(nil), p.Trail...)
+	}
+	if p.TCP != nil {
+		h := *p.TCP
+		q.TCP = &h
+	}
+	return &q
+}
+
+// String summarises the packet for traces and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s uid=%d %d->%d size=%d", p.Kind, p.UID, p.Src, p.Dst, p.Size)
+}
+
+// UIDSource allocates unique packet and frame IDs within one simulation.
+type UIDSource struct{ next uint64 }
+
+// Next returns the next unique ID (starting at 1; 0 means "unset").
+func (u *UIDSource) Next() uint64 {
+	u.next++
+	return u.next
+}
+
+// CloneRoute duplicates a node list; helper for routing headers that carry
+// accumulated route records.
+func CloneRoute(r []NodeID) []NodeID {
+	if r == nil {
+		return nil
+	}
+	return append([]NodeID(nil), r...)
+}

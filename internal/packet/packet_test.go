@@ -1,0 +1,146 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUIDSourceUnique(t *testing.T) {
+	var u UIDSource
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := u.Next()
+		if id == 0 {
+			t.Fatal("UID 0 allocated; 0 must mean unset")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate UID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindData: "DATA", KindAck: "ACK", KindRREQ: "RREQ",
+		KindRREP: "RREP", KindRERR: "RERR", KindCheck: "CHECK",
+		KindCheckErr: "CHECKERR",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+	if Kind(200).String() != "KIND(200)" {
+		t.Errorf("unknown kind formatting: %q", Kind(200).String())
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if KindData.IsControl() || KindAck.IsControl() {
+		t.Fatal("transport kinds misclassified as control")
+	}
+	for _, k := range []Kind{KindRREQ, KindRREP, KindRERR, KindCheck, KindCheckErr} {
+		if !k.IsControl() {
+			t.Fatalf("%v not classified as control", k)
+		}
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	var u UIDSource
+	p := &Packet{
+		UID:         u.Next(),
+		Kind:        KindData,
+		Size:        1040,
+		Src:         1,
+		Dst:         2,
+		TTL:         32,
+		SourceRoute: []NodeID{1, 5, 2},
+		TCP:         &TCPHeader{Flow: 1, Seq: 9},
+	}
+	q := p.Copy(&u)
+	if q.UID == p.UID {
+		t.Fatal("copy shares UID")
+	}
+	q.SourceRoute[1] = 99
+	if p.SourceRoute[1] != 5 {
+		t.Fatal("copy shares SourceRoute backing array")
+	}
+	q.TCP.Seq = 42
+	if p.TCP.Seq != 9 {
+		t.Fatal("copy shares TCP header")
+	}
+	if q.Size != p.Size || q.Src != p.Src || q.Dst != p.Dst {
+		t.Fatal("copy lost fields")
+	}
+}
+
+func TestCopyNilOptionalFields(t *testing.T) {
+	var u UIDSource
+	p := &Packet{UID: u.Next(), Kind: KindRERR}
+	q := p.Copy(&u)
+	if q.SourceRoute != nil || q.TCP != nil {
+		t.Fatal("copy invented optional fields")
+	}
+}
+
+func TestCloneRoute(t *testing.T) {
+	if CloneRoute(nil) != nil {
+		t.Fatal("CloneRoute(nil) != nil")
+	}
+	r := []NodeID{1, 2, 3}
+	c := CloneRoute(r)
+	c[0] = 9
+	if r[0] != 1 {
+		t.Fatal("CloneRoute shares backing array")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := &Frame{Kind: FrameRTS, TxFrom: 3, TxTo: 4}
+	if f.String() != "MAC-RTS 3->4" {
+		t.Fatalf("String = %q", f.String())
+	}
+	var u UIDSource
+	df := &Frame{Kind: FrameData, TxFrom: 1, TxTo: Broadcast,
+		Payload: &Packet{UID: u.Next(), Kind: KindRREQ, Src: 1, Dst: 5, Size: 32}}
+	if !df.IsBroadcast() {
+		t.Fatal("broadcast not detected")
+	}
+	want := "MAC-DATA 1->-1 [RREQ uid=1 1->5 size=32]"
+	if df.String() != want {
+		t.Fatalf("String = %q, want %q", df.String(), want)
+	}
+	if FrameKind(9).String() != "FRAME(9)" {
+		t.Fatalf("unknown frame kind: %q", FrameKind(9).String())
+	}
+}
+
+// Property: a chain of copies preserves payload identity fields while
+// always producing fresh UIDs.
+func TestCopyChainProperty(t *testing.T) {
+	f := func(seq int64, flow uint8, hops uint8) bool {
+		var u UIDSource
+		p := &Packet{
+			UID: u.Next(), Kind: KindData, Size: 1040,
+			DataID: 77, TCP: &TCPHeader{Flow: int(flow), Seq: seq},
+		}
+		uids := map[uint64]bool{p.UID: true}
+		cur := p
+		for i := 0; i < int(hops%16); i++ {
+			cur = cur.Copy(&u)
+			if uids[cur.UID] {
+				return false
+			}
+			uids[cur.UID] = true
+			if cur.DataID != 77 || cur.TCP.Seq != seq || cur.TCP.Flow != int(flow) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package phy models the shared wireless medium: a unit-disc radio channel
+// with configurable receive and carrier-sense ranges, signal propagation
+// delay, half-duplex radios, and a receiver-side collision model.
+//
+// Model (documented substitution for ns-2's two-ray ground propagation):
+//
+//   - A frame is decodable by radios within RxRange of the transmitter at
+//     the moment transmission starts (positions change negligibly during a
+//     frame's ~1 ms airtime).
+//   - Radios within CSRange sense energy (physical carrier sense) but
+//     cannot decode beyond RxRange.
+//   - Two frames overlapping in time at a receiver, both within RxRange,
+//     corrupt each other (no capture effect). Energy from the
+//     (RxRange, CSRange] ring defers transmitters but does not corrupt.
+//   - A radio that is transmitting cannot receive (half duplex).
+package phy
+
+import (
+	"math"
+
+	"mtsim/internal/geo"
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// Listener is the MAC-side interface a Radio reports to.
+type Listener interface {
+	// EnergyUp is called when the number of in-CS-range transmissions
+	// rises from zero: the medium became busy.
+	EnergyUp()
+	// EnergyDown is called when the medium becomes idle again.
+	EnergyDown()
+	// RxEnd delivers a frame whose last bit has arrived. ok is false if
+	// the frame was corrupted by a collision. Every decodable frame is
+	// delivered (even corrupted ones) so the MAC can apply EIFS rules.
+	RxEnd(f *packet.Frame, ok bool)
+}
+
+// Radio is one node's attachment to the channel.
+type Radio struct {
+	ID  packet.NodeID
+	pos func(sim.Time) geo.Point
+	lis Listener
+	ch  *Channel
+
+	transmitting bool
+	energy       int // count of in-CS-range transmissions currently on air
+
+	// current decode in progress (nil if none)
+	rx *reception
+
+	// Stats
+	FramesSent     uint64
+	FramesDecoded  uint64
+	FramesCollided uint64
+}
+
+type reception struct {
+	frame    *packet.Frame
+	collided bool
+}
+
+// Channel is the shared medium connecting all radios.
+type Channel struct {
+	sched   *sim.Scheduler
+	radios  []*Radio
+	RxRange float64 // metres, decodable
+	CSRange float64 // metres, senseable
+	// PropSpeed is the signal propagation speed in metres/second.
+	PropSpeed float64
+	// DropFrame, when non-nil, is consulted for every decodable frame
+	// arrival; returning true force-corrupts that delivery. Used by tests
+	// to inject losses on specific links.
+	DropFrame func(f *packet.Frame, to packet.NodeID) bool
+}
+
+// DefaultRxRange and DefaultCSRange follow the paper (250 m transmission
+// range) and the ns-2 default carrier-sense ratio (2.2x).
+const (
+	DefaultRxRange   = 250.0
+	DefaultCSRange   = 550.0
+	defaultPropSpeed = 3e8
+)
+
+// NewChannel creates an empty channel.
+func NewChannel(sched *sim.Scheduler, rxRange, csRange float64) *Channel {
+	if csRange < rxRange {
+		csRange = rxRange
+	}
+	return &Channel{
+		sched:     sched,
+		RxRange:   rxRange,
+		CSRange:   csRange,
+		PropSpeed: defaultPropSpeed,
+	}
+}
+
+// Attach registers a radio for a node whose position over time is given by
+// pos. The listener (the node's MAC) must be set before any transmission
+// can reach the radio.
+func (c *Channel) Attach(id packet.NodeID, pos func(sim.Time) geo.Point, lis Listener) *Radio {
+	r := &Radio{ID: id, pos: pos, lis: lis, ch: c}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// Radios returns all attached radios (scenario introspection).
+func (c *Channel) Radios() []*Radio { return c.radios }
+
+// PositionOf returns the current position of a radio.
+func (c *Channel) PositionOf(r *Radio) geo.Point { return r.pos(c.sched.Now()) }
+
+// Busy reports whether the radio currently senses energy or is transmitting;
+// exposed for the MAC's carrier-sense checks.
+func (r *Radio) Busy() bool { return r.energy > 0 || r.transmitting }
+
+// Transmitting reports whether the radio is currently sending.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// Transmit puts a frame on the air for the given airtime. The caller (MAC)
+// is responsible for medium-access rules; the channel only models physics.
+// The sender's own listener receives no callbacks for its own frame; the MAC
+// schedules its own tx-done event.
+func (c *Channel) Transmit(tx *Radio, f *packet.Frame, airtime sim.Duration) {
+	now := c.sched.Now()
+	tx.transmitting = true
+	tx.FramesSent++
+
+	// Transmitting corrupts any decode in progress at the sender
+	// (half duplex).
+	if tx.rx != nil {
+		tx.rx.collided = true
+	}
+
+	txPos := tx.pos(now)
+	cs2 := c.CSRange * c.CSRange
+	rx2 := c.RxRange * c.RxRange
+
+	for _, rcv := range c.radios {
+		if rcv == tx {
+			continue
+		}
+		d2 := rcv.pos(now).DistanceSqTo(txPos)
+		if d2 > cs2 {
+			continue
+		}
+		decodable := d2 <= rx2
+		prop := sim.Duration(0)
+		if c.PropSpeed > 0 {
+			prop = sim.Seconds(math.Sqrt(d2) / c.PropSpeed)
+		}
+		rcv := rcv
+		c.sched.After(prop, func() { c.arriveStart(rcv, f, decodable) })
+		c.sched.After(prop+airtime, func() { c.arriveEnd(rcv, f, decodable) })
+	}
+
+	c.sched.After(airtime, func() { tx.transmitting = false })
+}
+
+func (c *Channel) arriveStart(rcv *Radio, f *packet.Frame, decodable bool) {
+	rcv.energy++
+	if rcv.energy == 1 && rcv.lis != nil {
+		rcv.lis.EnergyUp()
+	}
+	if !decodable {
+		return
+	}
+	if rcv.transmitting {
+		return // half duplex: cannot begin decode while sending
+	}
+	if rcv.rx != nil {
+		// Overlapping decodable frames: both are lost.
+		rcv.rx.collided = true
+		rcv.FramesCollided++
+		return
+	}
+	rx := &reception{frame: f}
+	if c.DropFrame != nil && c.DropFrame(f, rcv.ID) {
+		rx.collided = true
+	}
+	rcv.rx = rx
+}
+
+func (c *Channel) arriveEnd(rcv *Radio, f *packet.Frame, decodable bool) {
+	rcv.energy--
+	if decodable && rcv.rx != nil && rcv.rx.frame == f {
+		rx := rcv.rx
+		rcv.rx = nil
+		ok := !rx.collided
+		if ok {
+			rcv.FramesDecoded++
+		} else {
+			rcv.FramesCollided++
+		}
+		if rcv.lis != nil {
+			rcv.lis.RxEnd(f, ok)
+		}
+	}
+	if rcv.energy == 0 && rcv.lis != nil {
+		rcv.lis.EnergyDown()
+	}
+}
+
+// InRange reports whether two radios can currently decode each other's
+// frames; used by scenario builders and tests for connectivity checks.
+func (c *Channel) InRange(a, b *Radio) bool {
+	now := c.sched.Now()
+	return a.pos(now).DistanceSqTo(b.pos(now)) <= c.RxRange*c.RxRange
+}

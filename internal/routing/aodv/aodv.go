@@ -1,0 +1,515 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector routing
+// protocol (Perkins, Royer & Das) as one of the paper's two baselines:
+// on-demand route discovery by flooded RREQs, destination sequence numbers
+// for loop freedom and freshness, hop-by-hop forwarding tables built by
+// RREPs, and broadcast RERRs driven by MAC-layer link-failure feedback.
+// Hello beacons are not used — link breakage detection comes from the MAC,
+// matching the paper's setup (§III-E).
+package aodv
+
+import (
+	"mtsim/internal/packet"
+	"mtsim/internal/routing"
+	"mtsim/internal/sim"
+)
+
+// Config holds AODV parameters following draft-ietf-manet-aodv-10 (the
+// paper's reference [15]) with ns-2 conventions.
+type Config struct {
+	ActiveRouteTimeout sim.Duration
+	// RREQRetries counts full-diameter attempts after the expanding ring
+	// reaches NetDiameter (RREQ_RETRIES in the draft).
+	RREQRetries int
+	SendBufCap  int
+	SendBufAge  sim.Duration
+	// AllowIntermediateReply lets intermediate nodes answer RREQs from
+	// fresh-enough cached routes (standard AODV behaviour).
+	AllowIntermediateReply bool
+
+	// Expanding-ring search (draft §8.4). Disable to flood network-wide
+	// immediately (ablation).
+	ExpandingRing     bool
+	TTLStart          int
+	TTLIncrement      int
+	TTLThreshold      int
+	NetDiameter       int
+	NodeTraversalTime sim.Duration
+}
+
+// DefaultConfig returns the parameter set used in the experiments
+// (draft-10 defaults: TTL_START 1, TTL_INCREMENT 2, TTL_THRESHOLD 7,
+// NET_DIAMETER 35, NODE_TRAVERSAL_TIME 40 ms, RREQ_RETRIES 2).
+func DefaultConfig() Config {
+	return Config{
+		ActiveRouteTimeout:     10 * sim.Second,
+		RREQRetries:            2,
+		SendBufCap:             64,
+		SendBufAge:             8 * sim.Second,
+		AllowIntermediateReply: true,
+		ExpandingRing:          true,
+		TTLStart:               1,
+		TTLIncrement:           2,
+		TTLThreshold:           7,
+		NetDiameter:            35,
+		NodeTraversalTime:      40 * sim.Millisecond,
+	}
+}
+
+// ringTraversalTime is the draft's RING_TRAVERSAL_TIME: how long to wait
+// for a reply from a TTL-bounded flood (TIMEOUT_BUFFER = 2).
+func (c Config) ringTraversalTime(ttl int) sim.Duration {
+	return 2 * c.NodeTraversalTime * sim.Duration(ttl+2)
+}
+
+// Control packet wire sizes (bytes), matching ns-2's AODV packet formats.
+const (
+	rreqBytes = 48
+	rrepBytes = 44
+	rerrBase  = 20
+	rerrPer   = 8
+)
+
+// RREQ is the route-request header.
+type RREQ struct {
+	Orig           packet.NodeID
+	OrigSeq        uint32
+	BID            uint32
+	Target         packet.NodeID
+	TargetSeq      uint32
+	TargetSeqKnown bool
+	Hops           int
+}
+
+// RREP is the route-reply header, travelling replier → originator.
+type RREP struct {
+	Orig      packet.NodeID // RREQ originator (discovery requester)
+	Target    packet.NodeID // destination the route leads to
+	TargetSeq uint32
+	Hops      int // distance from the replier to Target
+}
+
+// RERR lists destinations that became unreachable through the sender.
+type RERR struct {
+	Unreachable []Unreachable
+}
+
+// Unreachable is one RERR entry.
+type Unreachable struct {
+	Dst packet.NodeID
+	Seq uint32
+}
+
+type routeEntry struct {
+	next     packet.NodeID
+	hops     int
+	seq      uint32
+	validSeq bool
+	valid    bool
+	expiry   sim.Time
+}
+
+type discovery struct {
+	ttl        int // current ring TTL
+	fullFloods int // attempts at NetDiameter TTL
+	timer      *sim.Event
+}
+
+// Router is one node's AODV instance.
+type Router struct {
+	env routing.Env
+	cfg Config
+
+	seq uint32
+	bid uint32
+
+	table   map[packet.NodeID]*routeEntry
+	seen    map[rreqKey]bool
+	pending map[packet.NodeID]*discovery
+	buffer  *routing.SendBuffer
+
+	// Stats
+	Discoveries uint64
+	RERRsSent   uint64
+}
+
+type rreqKey struct {
+	orig packet.NodeID
+	bid  uint32
+}
+
+// New creates an AODV router bound to env.
+func New(env routing.Env, cfg Config) *Router {
+	return &Router{
+		env:     env,
+		cfg:     cfg,
+		table:   make(map[packet.NodeID]*routeEntry),
+		seen:    make(map[rreqKey]bool),
+		pending: make(map[packet.NodeID]*discovery),
+		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge,
+			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
+	}
+}
+
+// Name implements routing.Protocol.
+func (r *Router) Name() string { return "AODV" }
+
+// Start implements routing.Protocol. AODV is purely reactive; nothing to do.
+func (r *Router) Start() {}
+
+// route returns a live entry for dst, treating expired entries as invalid.
+func (r *Router) route(dst packet.NodeID) *routeEntry {
+	e := r.table[dst]
+	if e == nil || !e.valid || e.expiry < r.env.Scheduler().Now() {
+		return nil
+	}
+	return e
+}
+
+// touch refreshes the lifetime of a route in active use.
+func (r *Router) touch(e *routeEntry) {
+	exp := r.env.Scheduler().Now().Add(r.cfg.ActiveRouteTimeout)
+	if exp > e.expiry {
+		e.expiry = exp
+	}
+}
+
+// update installs or refreshes a route if the new information is fresher
+// (higher sequence number) or equally fresh but shorter — the AODV
+// loop-freedom rule.
+func (r *Router) update(dst, next packet.NodeID, hops int, seq uint32, validSeq bool) *routeEntry {
+	e := r.table[dst]
+	if e == nil {
+		e = &routeEntry{}
+		r.table[dst] = e
+	}
+	accept := !e.valid ||
+		(validSeq && e.validSeq && routing.SeqNewer(seq, e.seq)) ||
+		(validSeq && !e.validSeq) ||
+		(validSeq == e.validSeq && seq == e.seq && hops < e.hops) ||
+		(!validSeq && !e.validSeq)
+	if !accept {
+		return e
+	}
+	e.next = next
+	e.hops = hops
+	e.seq = seq
+	e.validSeq = validSeq
+	e.valid = true
+	r.touch(e)
+	return e
+}
+
+// Send implements routing.Protocol: originate an end-to-end packet.
+func (r *Router) Send(p *packet.Packet) {
+	if p.Dst == r.env.ID() {
+		r.env.DeliverLocal(p, r.env.ID())
+		return
+	}
+	if e := r.route(p.Dst); e != nil {
+		r.touch(e)
+		r.env.SendMac(p, e.next)
+		return
+	}
+	r.buffer.Push(p.Dst, p)
+	r.startDiscovery(p.Dst)
+}
+
+func (r *Router) startDiscovery(dst packet.NodeID) {
+	if _, busy := r.pending[dst]; busy {
+		return
+	}
+	d := &discovery{ttl: r.initialTTL(dst)}
+	r.pending[dst] = d
+	r.attempt(dst, d)
+}
+
+// initialTTL starts the expanding ring at TTL_START, or at the last known
+// hop count plus TTL_INCREMENT when the route just broke (draft §8.4).
+func (r *Router) initialTTL(dst packet.NodeID) int {
+	if !r.cfg.ExpandingRing {
+		return r.cfg.NetDiameter
+	}
+	ttl := r.cfg.TTLStart
+	if e := r.table[dst]; e != nil && e.hops > 0 && e.hops+r.cfg.TTLIncrement < r.cfg.TTLThreshold {
+		ttl = e.hops + r.cfg.TTLIncrement
+	}
+	return ttl
+}
+
+func (r *Router) attempt(dst packet.NodeID, d *discovery) {
+	r.Discoveries++
+	r.seq++
+	r.bid++
+	h := &RREQ{
+		Orig:    r.env.ID(),
+		OrigSeq: r.seq,
+		BID:     r.bid,
+		Target:  dst,
+	}
+	if e := r.table[dst]; e != nil && e.validSeq {
+		h.TargetSeq = e.seq
+		h.TargetSeqKnown = true
+	}
+	p := &packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRREQ,
+		Size:    rreqBytes,
+		Src:     r.env.ID(),
+		Dst:     dst,
+		TTL:     d.ttl,
+		Routing: h,
+	}
+	r.seen[rreqKey{h.Orig, h.BID}] = true
+	r.env.SendMac(p, packet.Broadcast)
+
+	timeout := r.cfg.ringTraversalTime(d.ttl)
+	if d.ttl >= r.cfg.NetDiameter {
+		// Full-diameter attempts back off exponentially (draft §8.3).
+		timeout <<= d.fullFloods
+	}
+	d.timer = r.env.Scheduler().After(timeout, func() {
+		if r.route(dst) != nil {
+			delete(r.pending, dst)
+			return
+		}
+		if d.ttl >= r.cfg.NetDiameter {
+			d.fullFloods++
+			if d.fullFloods > r.cfg.RREQRetries {
+				delete(r.pending, dst)
+				r.buffer.DropAll(dst)
+				return
+			}
+		} else if d.ttl >= r.cfg.TTLThreshold {
+			d.ttl = r.cfg.NetDiameter
+		} else {
+			d.ttl += r.cfg.TTLIncrement
+		}
+		r.attempt(dst, d)
+	})
+}
+
+// Receive implements routing.Protocol.
+func (r *Router) Receive(p *packet.Packet, from packet.NodeID) {
+	switch p.Kind {
+	case packet.KindRREQ:
+		r.handleRREQ(p, from)
+	case packet.KindRREP:
+		r.handleRREP(p, from)
+	case packet.KindRERR:
+		r.handleRERR(p, from)
+	default:
+		r.handleData(p, from)
+	}
+}
+
+func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
+	h := p.Routing.(*RREQ)
+	if h.Orig == r.env.ID() {
+		return
+	}
+	key := rreqKey{h.Orig, h.BID}
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+
+	// Reverse route to the originator through the neighbour we heard.
+	r.update(h.Orig, from, h.Hops+1, h.OrigSeq, true)
+
+	if h.Target == r.env.ID() {
+		// AODV: the destination ensures its sequence number is at least
+		// the one the requester asked about, then replies.
+		if h.TargetSeqKnown && routing.SeqNewer(h.TargetSeq, r.seq) {
+			r.seq = h.TargetSeq
+		}
+		r.seq++
+		r.sendRREP(h.Orig, r.env.ID(), r.seq, 0, from)
+		return
+	}
+
+	if r.cfg.AllowIntermediateReply {
+		if e := r.route(h.Target); e != nil && e.validSeq &&
+			(!h.TargetSeqKnown || !routing.SeqNewer(h.TargetSeq, e.seq)) {
+			r.sendRREP(h.Orig, h.Target, e.seq, e.hops, from)
+			return
+		}
+	}
+
+	if p.TTL <= 1 {
+		return
+	}
+	fwd := p.Copy(r.env.UIDs())
+	fwd.TTL--
+	nh := *h
+	nh.Hops++
+	fwd.Routing = &nh
+	// Jitter de-synchronises neighbours that all heard the same copy.
+	r.env.Scheduler().After(r.env.RNG().Jitter(routing.MaxBroadcastJitter), func() {
+		r.env.SendMac(fwd, packet.Broadcast)
+	})
+}
+
+func (r *Router) sendRREP(orig, target packet.NodeID, targetSeq uint32, hops int, via packet.NodeID) {
+	h := &RREP{Orig: orig, Target: target, TargetSeq: targetSeq, Hops: hops}
+	p := &packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRREP,
+		Size:    rrepBytes,
+		Src:     r.env.ID(),
+		Dst:     orig,
+		TTL:     routing.DefaultTTL,
+		Routing: h,
+	}
+	r.env.SendMac(p, via)
+}
+
+func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
+	h := p.Routing.(*RREP)
+	// Forward route to the target through the neighbour that relayed the
+	// reply.
+	r.update(h.Target, from, h.Hops+1, h.TargetSeq, true)
+
+	if h.Orig == r.env.ID() {
+		r.completeDiscovery(h.Target)
+		return
+	}
+	e := r.route(h.Orig)
+	if e == nil {
+		return // reverse route evaporated; reply is lost
+	}
+	r.touch(e)
+	fwd := p.Copy(r.env.UIDs())
+	fwd.TTL--
+	nh := *h
+	nh.Hops++
+	fwd.Routing = &nh
+	if fwd.TTL > 0 {
+		r.env.SendMac(fwd, e.next)
+	}
+}
+
+func (r *Router) completeDiscovery(dst packet.NodeID) {
+	if d, ok := r.pending[dst]; ok {
+		if d.timer != nil {
+			r.env.Scheduler().Cancel(d.timer)
+		}
+		delete(r.pending, dst)
+	}
+	e := r.route(dst)
+	if e == nil {
+		return
+	}
+	for _, q := range r.buffer.Pop(dst) {
+		r.touch(e)
+		r.env.SendMac(q, e.next)
+	}
+}
+
+func (r *Router) handleRERR(p *packet.Packet, from packet.NodeID) {
+	h := p.Routing.(*RERR)
+	var propagate []Unreachable
+	for _, u := range h.Unreachable {
+		e := r.table[u.Dst]
+		if e != nil && e.valid && e.next == from {
+			e.valid = false
+			e.seq = u.Seq
+			e.validSeq = true
+			propagate = append(propagate, u)
+		}
+	}
+	if len(propagate) > 0 {
+		r.broadcastRERR(propagate)
+	}
+}
+
+func (r *Router) broadcastRERR(list []Unreachable) {
+	h := &RERR{Unreachable: list}
+	p := &packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRERR,
+		Size:    rerrBase + rerrPer*len(list),
+		Src:     r.env.ID(),
+		Dst:     packet.Broadcast,
+		TTL:     1,
+		Routing: h,
+	}
+	r.RERRsSent++
+	r.env.SendMac(p, packet.Broadcast)
+}
+
+func (r *Router) handleData(p *packet.Packet, from packet.NodeID) {
+	if p.Dst == r.env.ID() {
+		r.env.DeliverLocal(p, from)
+		return
+	}
+	if p.TTL <= 1 {
+		r.env.NotifyDrop(p, "ttl")
+		return
+	}
+	e := r.route(p.Dst)
+	if e == nil {
+		// No route at an intermediate node: report back so upstream
+		// nodes and the source stop using us.
+		r.env.NotifyDrop(p, "no-route")
+		r.broadcastRERR([]Unreachable{{Dst: p.Dst, Seq: r.seqFor(p.Dst)}})
+		return
+	}
+	if p.Kind == packet.KindData {
+		r.env.NotifyRelay(p)
+	}
+	r.touch(e)
+	// Refresh the reverse route too: ACKs will flow back.
+	if re := r.route(p.Src); re != nil {
+		r.touch(re)
+	}
+	fwd := p.Copy(r.env.UIDs())
+	fwd.TTL--
+	r.env.SendMac(fwd, e.next)
+}
+
+func (r *Router) seqFor(dst packet.NodeID) uint32 {
+	if e := r.table[dst]; e != nil {
+		return e.seq + 1
+	}
+	return 0
+}
+
+// LinkFailed implements routing.Protocol: MAC retry exhaustion toward next.
+func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
+	var lost []Unreachable
+	for dst, e := range r.table {
+		if e.valid && e.next == next {
+			e.valid = false
+			e.seq++
+			e.validSeq = true
+			lost = append(lost, Unreachable{Dst: dst, Seq: e.seq})
+		}
+	}
+	r.env.DropQueued(func(_ *packet.Packet, n packet.NodeID) bool { return n == next })
+
+	if len(lost) > 0 {
+		r.broadcastRERR(lost)
+	}
+
+	// A data packet from this very node restarts discovery; transit
+	// packets are dropped (no local repair — documented simplification).
+	if p.Kind == packet.KindData || p.Kind == packet.KindAck {
+		if p.Src == r.env.ID() {
+			r.buffer.Push(p.Dst, p)
+			r.startDiscovery(p.Dst)
+		} else {
+			r.env.NotifyDrop(p, "link-failure")
+		}
+	}
+}
+
+// RouteTo exposes the current next hop for tests and visualisation.
+func (r *Router) RouteTo(dst packet.NodeID) (next packet.NodeID, hops int, ok bool) {
+	e := r.route(dst)
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.next, e.hops, true
+}
+
+var _ routing.Protocol = (*Router)(nil)

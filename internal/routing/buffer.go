@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// SendBuffer holds data packets awaiting route discovery, per destination,
+// with a capacity bound and an age limit — the analogue of ns-2's send
+// buffer. All three protocols use one.
+type SendBuffer struct {
+	cap    int
+	maxAge sim.Duration
+	sched  *sim.Scheduler
+	onDrop func(p *packet.Packet, reason string)
+
+	byDst map[packet.NodeID][]buffered
+}
+
+type buffered struct {
+	p  *packet.Packet
+	at sim.Time
+}
+
+// NewSendBuffer creates a buffer holding at most capacity packets per
+// destination, each for at most maxAge. onDrop (may be nil) is told about
+// evictions.
+func NewSendBuffer(sched *sim.Scheduler, capacity int, maxAge sim.Duration, onDrop func(*packet.Packet, string)) *SendBuffer {
+	return &SendBuffer{
+		cap:    capacity,
+		maxAge: maxAge,
+		sched:  sched,
+		onDrop: onDrop,
+		byDst:  make(map[packet.NodeID][]buffered),
+	}
+}
+
+// Push buffers p for dst, evicting the oldest packet if full.
+func (b *SendBuffer) Push(dst packet.NodeID, p *packet.Packet) {
+	q := b.byDst[dst]
+	q = b.expire(q)
+	if len(q) >= b.cap {
+		b.drop(q[0].p, "sendbuf-overflow")
+		q = q[1:]
+	}
+	b.byDst[dst] = append(q, buffered{p: p, at: b.sched.Now()})
+}
+
+// Pop removes and returns all still-fresh packets buffered for dst.
+func (b *SendBuffer) Pop(dst packet.NodeID) []*packet.Packet {
+	q := b.expire(b.byDst[dst])
+	delete(b.byDst, dst)
+	out := make([]*packet.Packet, 0, len(q))
+	for _, e := range q {
+		out = append(out, e.p)
+	}
+	return out
+}
+
+// DropAll discards everything buffered for dst (discovery given up).
+func (b *SendBuffer) DropAll(dst packet.NodeID) {
+	for _, e := range b.byDst[dst] {
+		b.drop(e.p, "discovery-failed")
+	}
+	delete(b.byDst, dst)
+}
+
+// Len returns the number of packets buffered for dst.
+func (b *SendBuffer) Len(dst packet.NodeID) int { return len(b.byDst[dst]) }
+
+func (b *SendBuffer) expire(q []buffered) []buffered {
+	cutoff := b.sched.Now().Add(-b.maxAge)
+	i := 0
+	for i < len(q) && q[i].at < cutoff {
+		b.drop(q[i].p, "sendbuf-timeout")
+		i++
+	}
+	return q[i:]
+}
+
+func (b *SendBuffer) drop(p *packet.Packet, reason string) {
+	if b.onDrop != nil {
+		b.onDrop(p, reason)
+	}
+}

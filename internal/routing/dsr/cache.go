@@ -1,0 +1,162 @@
+package dsr
+
+import "mtsim/internal/packet"
+
+// routeCache stores complete source routes (each beginning at the owning
+// node) with per-destination and global capacity bounds. Basic DSR routes
+// never expire — they live until a route error removes a link they use.
+// That is precisely the staleness the paper's Fig. 10 exposes at high
+// speeds.
+type routeCache struct {
+	owner  packet.NodeID
+	perDst int
+	global int
+	routes [][]packet.NodeID
+}
+
+func newRouteCache(owner packet.NodeID, perDst, global int) *routeCache {
+	return &routeCache{owner: owner, perDst: perDst, global: global}
+}
+
+// Add caches a full path [owner, ..., dst]. Paths with loops, foreign
+// origins or trivial length are rejected. Returns true if stored.
+func (c *routeCache) Add(path []packet.NodeID) bool {
+	if len(path) < 2 || path[0] != c.owner {
+		return false
+	}
+	if hasLoop(path) {
+		return false
+	}
+	dst := path[len(path)-1]
+	count := 0
+	for _, r := range c.routes {
+		if equalRoute(r, path) {
+			return false // already cached
+		}
+		if r[len(r)-1] == dst {
+			count++
+		}
+	}
+	if count >= c.perDst {
+		// Replace the longest existing route for dst if the new one is
+		// shorter; otherwise reject.
+		worst, worstLen := -1, len(path)
+		for i, r := range c.routes {
+			if r[len(r)-1] == dst && len(r) > worstLen {
+				worst, worstLen = i, len(r)
+			}
+		}
+		if worst < 0 {
+			return false
+		}
+		c.routes[worst] = append([]packet.NodeID(nil), path...)
+		return true
+	}
+	if len(c.routes) >= c.global {
+		c.routes = c.routes[1:] // FIFO eviction of the oldest route
+	}
+	c.routes = append(c.routes, append([]packet.NodeID(nil), path...))
+	return true
+}
+
+// Get returns the shortest cached route to dst (nil if none). The returned
+// slice must not be mutated by the caller.
+func (c *routeCache) Get(dst packet.NodeID) []packet.NodeID {
+	var best []packet.NodeID
+	for _, r := range c.routes {
+		if r[len(r)-1] == dst && (best == nil || len(r) < len(best)) {
+			best = r
+		}
+	}
+	return best
+}
+
+// GetAvoidingLink returns the shortest route to dst that does not traverse
+// the directed link a→b (nor b→a); used for salvaging.
+func (c *routeCache) GetAvoidingLink(dst, a, b packet.NodeID) []packet.NodeID {
+	var best []packet.NodeID
+	for _, r := range c.routes {
+		if r[len(r)-1] != dst || containsLink(r, a, b) {
+			continue
+		}
+		if best == nil || len(r) < len(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// RemoveLink drops every cached route using the link in either direction
+// and returns how many were removed.
+func (c *routeCache) RemoveLink(a, b packet.NodeID) int {
+	kept := c.routes[:0]
+	removed := 0
+	for _, r := range c.routes {
+		if containsLink(r, a, b) {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	c.routes = kept
+	return removed
+}
+
+// Len returns the number of cached routes (tests).
+func (c *routeCache) Len() int { return len(c.routes) }
+
+func containsLink(r []packet.NodeID, a, b packet.NodeID) bool {
+	for i := 0; i+1 < len(r); i++ {
+		if (r[i] == a && r[i+1] == b) || (r[i] == b && r[i+1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalRoute(a, b []packet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasLoop(r []packet.NodeID) bool {
+	seen := make(map[packet.NodeID]bool, len(r))
+	for _, n := range r {
+		if seen[n] {
+			return true
+		}
+		seen[n] = true
+	}
+	return false
+}
+
+// concatenate joins prefix (ending at x) and suffix (starting at x) into a
+// single loop-free route, or nil if the result would contain a loop.
+func concatenate(prefix, suffix []packet.NodeID) []packet.NodeID {
+	if len(prefix) == 0 || len(suffix) == 0 || prefix[len(prefix)-1] != suffix[0] {
+		return nil
+	}
+	out := make([]packet.NodeID, 0, len(prefix)+len(suffix)-1)
+	out = append(out, prefix...)
+	out = append(out, suffix[1:]...)
+	if hasLoop(out) {
+		return nil
+	}
+	return out
+}
+
+// reverseRoute returns a reversed copy.
+func reverseRoute(r []packet.NodeID) []packet.NodeID {
+	out := make([]packet.NodeID, len(r))
+	for i, n := range r {
+		out[len(r)-1-i] = n
+	}
+	return out
+}

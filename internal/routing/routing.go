@@ -1,0 +1,70 @@
+// Package routing defines the interface between a node and its routing
+// protocol, plus helpers shared by all protocol implementations (send
+// buffers for packets awaiting route discovery, sequence-number comparison,
+// broadcast jitter conventions).
+//
+// Three protocols implement Protocol: DSR and AODV (the paper's baselines,
+// internal/routing/dsr and internal/routing/aodv) and MTS (the paper's
+// contribution, internal/core).
+package routing
+
+import (
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// Env is the node-side environment a protocol instance operates in. It is
+// implemented by node.Node.
+type Env interface {
+	// ID returns the host node's address.
+	ID() packet.NodeID
+	// Scheduler returns the simulation scheduler for timers.
+	Scheduler() *sim.Scheduler
+	// RNG returns the protocol's random stream (jitter etc.).
+	RNG() *sim.RNG
+	// UIDs allocates packet UIDs.
+	UIDs() *packet.UIDSource
+	// SendMac queues p for link-layer transmission to next
+	// (packet.Broadcast floods to all neighbours).
+	SendMac(p *packet.Packet, next packet.NodeID)
+	// DropQueued removes packets matching pred from the interface queue,
+	// returning the number removed (used after link failures).
+	DropQueued(pred func(p *packet.Packet, next packet.NodeID) bool) int
+	// DeliverLocal hands a packet that reached its final destination to
+	// the transport layer.
+	DeliverLocal(p *packet.Packet, from packet.NodeID)
+	// NotifyRelay records that this node relayed a data packet (the
+	// per-node β counts behind Table I / Figs. 5–7).
+	NotifyRelay(p *packet.Packet)
+	// NotifyDrop records a data packet dropped by the routing layer
+	// (no route, buffer overflow, TTL exhausted).
+	NotifyDrop(p *packet.Packet, reason string)
+}
+
+// Protocol is a routing protocol instance bound to one node.
+type Protocol interface {
+	// Name returns the protocol's short name ("DSR", "AODV", "MTS").
+	Name() string
+	// Start is called once at simulation start, before any traffic.
+	Start()
+	// Send originates an end-to-end packet from this node.
+	Send(p *packet.Packet)
+	// Receive handles a packet handed up by the MAC: protocol control, or
+	// data to be delivered locally or forwarded.
+	Receive(p *packet.Packet, from packet.NodeID)
+	// LinkFailed is the MAC's retry-exhaustion feedback for a unicast
+	// packet that could not reach next.
+	LinkFailed(p *packet.Packet, next packet.NodeID)
+}
+
+// SeqNewer reports whether sequence number a is fresher than b using
+// signed 32-bit wraparound comparison (AODV-style).
+func SeqNewer(a, b uint32) bool { return int32(a-b) > 0 }
+
+// MaxBroadcastJitter is the upper bound of the random delay protocols add
+// before re-broadcasting flooded packets, avoiding synchronized collisions
+// among neighbours that received the same broadcast simultaneously.
+const MaxBroadcastJitter = 10 * sim.Millisecond
+
+// DefaultTTL is the initial TTL for originated packets.
+const DefaultTTL = 32

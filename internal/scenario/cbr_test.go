@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"testing"
+
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+func TestCBRTrafficOnChain(t *testing.T) {
+	cfg := chainConfig("AODV", 3, 20*sim.Second)
+	cfg.Traffic = "cbr"
+	cfg.CBRInterval = 100 * sim.Millisecond // 10 pkt/s
+	m, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~19.9s active at 10 pkt/s; static chain loses almost nothing.
+	if m.SegmentsSent < 190 || m.SegmentsSent > 200 {
+		t.Fatalf("cbr generated %d packets", m.SegmentsSent)
+	}
+	if m.DeliveryRate < 0.95 {
+		t.Fatalf("cbr delivery = %.3f", m.DeliveryRate)
+	}
+	// No transport feedback: no TCP acks, no retransmissions.
+	if m.Retransmits != 0 || m.Timeouts != 0 {
+		t.Fatal("CBR mode ran TCP machinery")
+	}
+	if m.InterceptionRatio < 0.95 {
+		t.Fatalf("on-path eavesdropper interception = %.3f", m.InterceptionRatio)
+	}
+}
+
+func TestCBRDeliveryExposesLossDirectly(t *testing.T) {
+	// Unlike TCP (which retransmits around outages), CBR delivery rate
+	// directly reflects black-holed packets during an outage window.
+	cfg := chainConfig("DSR", 3, 30*sim.Second)
+	cfg.Traffic = "cbr"
+	cfg.CBRInterval = 50 * sim.Millisecond
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt everything through node 2 for 10 of 30 seconds: the only
+	// path is down for a third of the run.
+	s.Channel.DropFrame = func(f *packet.Frame, to packet.NodeID) bool {
+		now := s.Sched.Now()
+		if now < sim.Time(10*sim.Second) || now >= sim.Time(20*sim.Second) {
+			return false
+		}
+		return f.TxFrom == 2 || to == 2
+	}
+	m := s.Run()
+	if m.DeliveryRate > 0.75 {
+		t.Fatalf("delivery = %.3f; a 10s outage on the only path must cost ~1/3", m.DeliveryRate)
+	}
+	if m.DeliveryRate < 0.3 {
+		t.Fatalf("delivery = %.3f; the healthy 20s should still deliver", m.DeliveryRate)
+	}
+}
+
+func TestUnknownTrafficRejected(t *testing.T) {
+	cfg := chainConfig("AODV", 2, 5*sim.Second)
+	cfg.Traffic = "quic"
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("unknown traffic type accepted")
+	}
+}

@@ -1,0 +1,413 @@
+// Package scenario assembles complete simulations from a declarative
+// Config: the shared radio channel, mobile nodes with their MACs and
+// routing protocols, TCP Reno flows with FTP sources, the eavesdropping
+// node, and the metrics collector. The default configuration is the
+// paper's §IV-A setup: 50 nodes, 1000 m × 1000 m, random waypoint with 1 s
+// pause, IEEE 802.11b, 250 m range, one FTP/TCP flow, 200 s.
+package scenario
+
+import (
+	"fmt"
+
+	"mtsim/internal/app"
+	"mtsim/internal/core"
+	"mtsim/internal/eaves"
+	"mtsim/internal/geo"
+	"mtsim/internal/mac"
+	"mtsim/internal/metrics"
+	"mtsim/internal/mobility"
+	"mtsim/internal/node"
+	"mtsim/internal/packet"
+	"mtsim/internal/phy"
+	"mtsim/internal/routing/aodv"
+	"mtsim/internal/routing/dsr"
+	"mtsim/internal/routing/smr"
+	"mtsim/internal/sim"
+	"mtsim/internal/tcp"
+)
+
+// FlowSpec names one TCP connection.
+type FlowSpec struct {
+	Src, Dst packet.NodeID
+}
+
+// Config declares one simulation run. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	Protocol string // "DSR", "AODV" or "MTS"
+
+	Nodes    int
+	Field    geo.Rect
+	RxRange  float64
+	CSRange  float64
+	MaxSpeed float64 // m/s
+	MinSpeed float64
+	Pause    sim.Duration
+
+	Duration sim.Duration
+	Seed     int64
+
+	TCPStart sim.Time
+	Flows    []FlowSpec // empty: one uniformly random distinct pair
+
+	// Traffic selects the workload: "ftp" (default — TCP Reno with an
+	// infinite backlog, the paper's workload) or "cbr" (fixed-rate
+	// datagrams with no transport feedback, the workload of UDP-based
+	// comparisons such as Broch et al., the paper's ref [2]).
+	Traffic     string
+	CBRInterval sim.Duration // default 50 ms (20 pkt/s)
+	CBRSize     int          // payload bytes, default 512
+
+	// Eavesdropper selects the eavesdropping node; RandomEavesdropper
+	// picks a random node that is not a flow endpoint.
+	Eavesdropper packet.NodeID
+
+	MAC  mac.Config
+	TCP  tcp.Config
+	MTS  core.Config
+	AODV aodv.Config
+	DSR  dsr.Config
+	SMR  smr.Config
+
+	// Placement, when non-nil, pins every node to a static position
+	// (len(Placement) overrides Nodes) — used by integration tests and
+	// examples with engineered topologies.
+	Placement []geo.Point
+}
+
+// RandomEavesdropper asks for a random non-endpoint eavesdropper.
+const RandomEavesdropper packet.NodeID = -1
+
+// Protocols lists the paper's three protocols. The related-work protocols
+// SMR (split multipath) and SMR-BACKUP (Lim's backup-path scheme) are also
+// selectable in Config.Protocol for the extension experiments.
+func Protocols() []string { return []string{"DSR", "AODV", "MTS"} }
+
+// AllProtocols additionally includes the related-work baselines of §II.
+func AllProtocols() []string { return []string{"DSR", "AODV", "MTS", "SMR", "SMR-BACKUP"} }
+
+// DefaultConfig returns the paper's simulation parameters (§IV-A).
+func DefaultConfig() Config {
+	return Config{
+		Protocol:     "MTS",
+		Nodes:        50,
+		Field:        geo.Field(1000, 1000),
+		RxRange:      phy.DefaultRxRange,
+		CSRange:      phy.DefaultCSRange,
+		MaxSpeed:     10,
+		MinSpeed:     0,
+		Pause:        sim.Second,
+		Duration:     200 * sim.Second,
+		Seed:         1,
+		TCPStart:     sim.Time(5 * sim.Second),
+		Eavesdropper: RandomEavesdropper,
+		MAC:          mac.Default80211b(),
+		TCP:          tcp.DefaultConfig(),
+		MTS:          core.DefaultConfig(),
+		AODV:         aodv.DefaultConfig(),
+		DSR:          dsr.DefaultConfig(),
+		SMR:          smr.DefaultConfig(),
+	}
+}
+
+// Scenario is a built simulation ready to run.
+type Scenario struct {
+	Cfg       Config
+	Sched     *sim.Scheduler
+	Channel   *phy.Channel
+	Nodes     []*node.Node
+	Flows     []FlowSpec
+	Senders   []*tcp.Sender
+	CBRs      []*app.CBR
+	Sinks     []*tcp.Sink
+	Eaves     *eaves.Eavesdropper
+	Collector *metrics.Collector
+}
+
+// Build wires a scenario from the configuration.
+func Build(cfg Config) (*Scenario, error) {
+	n := cfg.Nodes
+	if cfg.Placement != nil {
+		n = len(cfg.Placement)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: need at least 2 nodes, have %d", n)
+	}
+	switch cfg.Protocol {
+	case "DSR", "AODV", "MTS", "SMR", "SMR-BACKUP":
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol %q", cfg.Protocol)
+	}
+
+	s := &Scenario{
+		Cfg:       cfg,
+		Sched:     sim.NewScheduler(),
+		Collector: metrics.NewCollector(),
+	}
+	s.Channel = phy.NewChannel(s.Sched, cfg.RxRange, cfg.CSRange)
+	master := sim.NewRNG(cfg.Seed)
+	uids := &packet.UIDSource{}
+
+	for i := 0; i < n; i++ {
+		id := packet.NodeID(i)
+		var mob mobility.Model
+		if cfg.Placement != nil {
+			mob = &mobility.Static{P: cfg.Placement[i]}
+		} else if cfg.MaxSpeed <= 0 {
+			// Static but randomly placed.
+			rng := master.Derive(fmt.Sprintf("place/%d", i))
+			mob = &mobility.Static{P: geo.Point{
+				X: rng.Uniform(cfg.Field.MinX, cfg.Field.MaxX),
+				Y: rng.Uniform(cfg.Field.MinY, cfg.Field.MaxY),
+			}}
+		} else {
+			mob = mobility.NewRandomWaypoint(cfg.Field, cfg.MinSpeed, cfg.MaxSpeed,
+				cfg.Pause, master.Derive(fmt.Sprintf("mobility/%d", i)))
+		}
+		nd := node.New(id, s.Sched, s.Channel, cfg.MAC, mob,
+			master.Derive(fmt.Sprintf("node/%d", i)), uids)
+
+		switch cfg.Protocol {
+		case "DSR":
+			nd.SetProtocol(dsr.New(nd, cfg.DSR))
+		case "AODV":
+			nd.SetProtocol(aodv.New(nd, cfg.AODV))
+		case "MTS":
+			nd.SetProtocol(core.New(nd, cfg.MTS))
+		case "SMR":
+			sc := cfg.SMR
+			sc.Mode = smr.ModeSplit
+			nd.SetProtocol(smr.New(nd, sc))
+		case "SMR-BACKUP":
+			sc := cfg.SMR
+			sc.Mode = smr.ModeBackup
+			nd.SetProtocol(smr.New(nd, sc))
+		}
+
+		// Metric hooks.
+		nd.OnRelay = func(p *packet.Packet) { s.Collector.Relay(id) }
+		nd.OnRouteDrop = func(p *packet.Packet, reason string) { s.Collector.Drop(reason) }
+		nd.Mac.OnSend = func(f *packet.Frame) {
+			if f.Kind != packet.FrameData || f.Payload == nil {
+				return
+			}
+			if f.Payload.Kind.IsControl() {
+				s.Collector.ControlSend()
+			} else {
+				s.Collector.DataSend()
+			}
+		}
+		s.Nodes = append(s.Nodes, nd)
+	}
+
+	// Flows.
+	flows := cfg.Flows
+	if len(flows) == 0 {
+		rng := master.Derive("traffic")
+		src := packet.NodeID(rng.Intn(n))
+		dst := packet.NodeID(rng.Intn(n - 1))
+		if dst >= src {
+			dst++
+		}
+		flows = []FlowSpec{{Src: src, Dst: dst}}
+	}
+	for i, f := range flows {
+		if f.Src == f.Dst || int(f.Src) >= n || int(f.Dst) >= n || f.Src < 0 || f.Dst < 0 {
+			return nil, fmt.Errorf("scenario: bad flow %d: %d -> %d", i, f.Src, f.Dst)
+		}
+		switch cfg.Traffic {
+		case "", "ftp":
+			sender := tcp.NewSender(s.Nodes[f.Src], cfg.TCP, i, f.Dst)
+			sink := tcp.NewSink(s.Nodes[f.Dst], i)
+			app.NewFTP(sender, cfg.TCPStart).Install(s.Sched)
+			s.Senders = append(s.Senders, sender)
+			s.Sinks = append(s.Sinks, sink)
+		case "cbr":
+			interval := cfg.CBRInterval
+			if interval <= 0 {
+				interval = 50 * sim.Millisecond
+			}
+			size := cfg.CBRSize
+			if size <= 0 {
+				size = 512
+			}
+			src := app.NewCBR(s.Nodes[f.Src], i, f.Dst, size, interval,
+				cfg.TCPStart, sim.Time(cfg.Duration))
+			src.Install(s.Sched)
+			sink := tcp.NewSink(s.Nodes[f.Dst], i)
+			sink.Mute = true
+			s.CBRs = append(s.CBRs, src)
+			s.Sinks = append(s.Sinks, sink)
+		default:
+			return nil, fmt.Errorf("scenario: unknown traffic type %q", cfg.Traffic)
+		}
+	}
+	s.Flows = flows
+
+	// Eavesdropper.
+	ev := cfg.Eavesdropper
+	if ev == RandomEavesdropper {
+		rng := master.Derive("eaves")
+		endpoints := map[packet.NodeID]bool{}
+		for _, f := range flows {
+			endpoints[f.Src] = true
+			endpoints[f.Dst] = true
+		}
+		var candidates []packet.NodeID
+		for i := 0; i < n; i++ {
+			if !endpoints[packet.NodeID(i)] {
+				candidates = append(candidates, packet.NodeID(i))
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("scenario: no candidate eavesdropper among %d nodes", n)
+		}
+		ev = candidates[rng.Intn(len(candidates))]
+	}
+	if int(ev) >= n || ev < 0 {
+		return nil, fmt.Errorf("scenario: eavesdropper %d out of range", ev)
+	}
+	s.Eaves = eaves.Attach(s.Nodes[ev])
+
+	for _, nd := range s.Nodes {
+		nd.Start()
+	}
+	return s, nil
+}
+
+// Run executes the simulation to its horizon and computes the metrics.
+func (s *Scenario) Run() *metrics.RunMetrics {
+	s.Sched.RunUntil(sim.Time(s.Cfg.Duration))
+	return s.Gather()
+}
+
+// Gather computes the RunMetrics from the current state (callable mid-run
+// for time series).
+func (s *Scenario) Gather() *metrics.RunMetrics {
+	m := &metrics.RunMetrics{
+		Protocol:       s.Cfg.Protocol,
+		MaxSpeed:       s.Cfg.MaxSpeed,
+		Seed:           s.Cfg.Seed,
+		Duration:       s.Cfg.Duration,
+		EavesdropperID: s.Eaves.ID,
+		Extra:          map[string]uint64{},
+	}
+
+	var distinct, arrivals, segments, retx, timeouts uint64
+	var totalDelay sim.Duration
+	for i := range s.Sinks {
+		distinct += s.Sinks[i].Stats.Distinct
+		arrivals += s.Sinks[i].Stats.Arrivals
+		totalDelay += s.Sinks[i].Stats.TotalDelay
+	}
+	for i := range s.Senders {
+		segments += s.Senders[i].Stats.Segments
+		retx += s.Senders[i].Stats.Retransmits
+		timeouts += s.Senders[i].Stats.Timeouts
+	}
+	for i := range s.CBRs {
+		segments += s.CBRs[i].Sent
+	}
+	m.Distinct = distinct
+	m.Arrivals = arrivals
+	m.SegmentsSent = segments
+	m.Retransmits = retx
+	m.Timeouts = timeouts
+
+	m.Participating = s.Collector.Participating()
+	m.RelayRows, m.Alpha, m.RelayStdDev = s.Collector.RelayTable()
+	if arrivals > 0 {
+		m.HighestInterception = float64(s.Collector.MaxBeta()) / float64(arrivals)
+	}
+	m.InterceptionRatio = s.Eaves.Ratio(distinct)
+
+	if distinct > 0 {
+		m.AvgDelaySec = totalDelay.Seconds() / float64(distinct)
+	}
+	active := s.Cfg.Duration - sim.Duration(s.Cfg.TCPStart)
+	if active > 0 {
+		m.ThroughputPps = float64(distinct) / active.Seconds()
+		payload := s.Cfg.TCP.MSS
+		if s.Cfg.Traffic == "cbr" {
+			if payload = s.Cfg.CBRSize; payload <= 0 {
+				payload = 512
+			}
+		}
+		m.ThroughputKbps = m.ThroughputPps * float64(payload) * 8 / 1000
+	}
+	if segments > 0 {
+		m.DeliveryRate = float64(arrivals) / float64(segments)
+	}
+	m.ControlPkts = s.Collector.ControlTx()
+	m.EventsRun = s.Sched.Executed
+
+	// Protocol-specific diagnostics from the flow endpoints.
+	for _, f := range s.Flows {
+		switch p := s.Nodes[f.Src].Proto.(type) {
+		case *core.Router:
+			m.Extra["discoveries"] += p.Stats.Discoveries
+			m.Extra["switches"] += p.Stats.Switches
+		case *aodv.Router:
+			m.Extra["discoveries"] += p.Discoveries
+		case *dsr.Router:
+			m.Extra["discoveries"] += p.Discoveries
+			m.Extra["salvages"] += p.Salvages
+		case *smr.Router:
+			m.Extra["discoveries"] += p.Discoveries
+			m.Extra["splitToggles"] += p.SplitToggles
+		}
+		if p, ok := s.Nodes[f.Dst].Proto.(*core.Router); ok {
+			m.Extra["checks"] += p.Stats.ChecksSent
+			m.Extra["pathsStored"] += p.Stats.PathsStored
+		}
+	}
+	return m
+}
+
+// RunOne is the convenience path: build and run a single configuration.
+func RunOne(cfg Config) (*metrics.RunMetrics, error) {
+	s, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// Sample is one point of a metric time series ("throughput over the
+// simulation time", the view behind the paper's Fig. 9 caption).
+type Sample struct {
+	At sim.Time
+	// DistinctDelta is the number of new distinct data packets delivered
+	// in the interval ending at At.
+	DistinctDelta uint64
+	// ThroughputPps is the delivery rate over that interval.
+	ThroughputPps float64
+	// CumulativeDistinct is the running total.
+	CumulativeDistinct uint64
+}
+
+// RunSampled executes the simulation, recording a throughput sample every
+// interval, and returns the series along with the final metrics.
+func (s *Scenario) RunSampled(interval sim.Duration) ([]Sample, *metrics.RunMetrics) {
+	if interval <= 0 {
+		interval = 10 * sim.Second
+	}
+	var series []Sample
+	var prev uint64
+	for t := sim.Time(interval); t <= sim.Time(s.Cfg.Duration); t = t.Add(interval) {
+		s.Sched.RunUntil(t)
+		var distinct uint64
+		for i := range s.Sinks {
+			distinct += s.Sinks[i].Stats.Distinct
+		}
+		series = append(series, Sample{
+			At:                 t,
+			DistinctDelta:      distinct - prev,
+			ThroughputPps:      float64(distinct-prev) / interval.Seconds(),
+			CumulativeDistinct: distinct,
+		})
+		prev = distinct
+	}
+	s.Sched.RunUntil(sim.Time(s.Cfg.Duration))
+	return series, s.Gather()
+}

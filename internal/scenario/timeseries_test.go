@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"testing"
+
+	"mtsim/internal/sim"
+)
+
+func TestRunSampledSeries(t *testing.T) {
+	cfg := chainConfig("MTS", 3, 20*sim.Second)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, m := s.RunSampled(5 * sim.Second)
+	if len(series) != 4 {
+		t.Fatalf("samples = %d, want 4", len(series))
+	}
+	// Cumulative counts are non-decreasing and end at the final total.
+	var prev uint64
+	for i, smp := range series {
+		if smp.CumulativeDistinct < prev {
+			t.Fatalf("sample %d: cumulative decreased", i)
+		}
+		prev = smp.CumulativeDistinct
+		if smp.ThroughputPps < 0 {
+			t.Fatalf("sample %d: negative throughput", i)
+		}
+	}
+	if series[len(series)-1].CumulativeDistinct != m.Distinct {
+		t.Fatalf("final cumulative %d != metrics distinct %d",
+			series[len(series)-1].CumulativeDistinct, m.Distinct)
+	}
+	// A static chain delivers continuously after TCP start: the later
+	// intervals all carry traffic.
+	for i := 1; i < len(series); i++ {
+		if series[i].DistinctDelta == 0 {
+			t.Fatalf("sample %d: no traffic in steady state", i)
+		}
+	}
+}
+
+func TestRunSampledDefaultInterval(t *testing.T) {
+	cfg := chainConfig("AODV", 2, 20*sim.Second)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, _ := s.RunSampled(0) // defaults to 10s
+	if len(series) != 2 {
+		t.Fatalf("samples = %d, want 2 at default interval", len(series))
+	}
+}

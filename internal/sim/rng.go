@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// splitmix64 advances a 64-bit state and returns the next output of the
+// SplitMix64 generator. It is used only for seed derivation: it turns one
+// master seed into well-separated per-subsystem seeds.
+func splitmix64(state uint64) (next uint64, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// DeriveSeed produces a sub-seed from a master seed and a label, so that
+// independent subsystems ("mobility", "traffic", "mac/12", ...) consume
+// independent random streams: adding draws in one subsystem does not perturb
+// the others, keeping scenario comparisons paired across protocols.
+func DeriveSeed(master int64, label string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	state := uint64(master) ^ h.Sum64()
+	_, out := splitmix64(state)
+	_, out2 := splitmix64(out)
+	return int64(out2)
+}
+
+// RNG is a deterministic random stream with the convenience methods the
+// simulator needs. It wraps math/rand with an explicit source so that runs
+// are reproducible from the configuration seed alone.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent stream labelled relative to this one.
+func (g *RNG) Derive(label string) *RNG {
+	return NewRNG(DeriveSeed(g.r.Int63(), label))
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform value in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Intn returns a uniform integer in [0,n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (g *RNG) Exp(mean float64) float64 { return g.r.ExpFloat64() * mean }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Jitter returns a duration uniform in [0,d). Used to desynchronise
+// periodic timers (e.g. route-checking rounds) exactly as ns-2 does.
+func (g *RNG) Jitter(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	return Duration(g.r.Int63n(int64(d)))
+}

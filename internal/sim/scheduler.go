@@ -1,0 +1,172 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are created through Scheduler.At /
+// Scheduler.After and may be cancelled; a cancelled event is skipped when its
+// time comes. The zero Event is not valid.
+type Event struct {
+	at        Time
+	seq       uint64 // creation order; breaks ties deterministically (FIFO)
+	fn        func()
+	index     int // heap index, -1 once popped
+	cancelled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event scheduler: a priority queue of timestamped
+// callbacks executed in (time, insertion-order) order while a virtual clock
+// advances. It is not safe for concurrent use; a simulation owns exactly one
+// scheduler and runs on one goroutine.
+type Scheduler struct {
+	heap    eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// Executed counts events that have been dispatched; useful for
+	// progress accounting and performance reporting.
+	Executed uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{heap: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (non-cancelled) events, counting
+// cancelled-but-unpopped events too; it is intended for tests and stats.
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it indicates a logic error in the calling model, and silently reordering
+// events would destroy causality.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op. The event is removed from the queue
+// immediately to keep the heap small in timer-heavy workloads.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		heap.Remove(&s.heap, e.index)
+	}
+}
+
+// Reschedule cancels e and returns a fresh event running the same callback
+// at the new time. It is a convenience for restartable timers.
+func (s *Scheduler) Reschedule(e *Event, t Time) *Event {
+	fn := e.fn
+	s.Cancel(e)
+	return s.At(t, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.Executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event lies strictly beyond the horizon; the clock is then advanced to the
+// horizon. Stop aborts the loop early.
+func (s *Scheduler) RunUntil(horizon Time) {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		next := s.heap[0]
+		if next.cancelled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = next.at
+		s.Executed++
+		next.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes every pending event (including ones scheduled while running)
+// until the queue empties or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (s *Scheduler) Stop() { s.stopped = true }

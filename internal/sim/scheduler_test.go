@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if got := Time(2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+	if got := Micros(50); got != 50*Microsecond {
+		t.Fatalf("Micros(50) = %v", got)
+	}
+	tm := Time(0).Add(3 * Second)
+	if tm.Sub(Time(Second)) != 2*Second {
+		t.Fatalf("Sub wrong")
+	}
+	if tm.String() != "3.000000s" {
+		t.Fatalf("String = %q", tm.String())
+	}
+	if Duration(1500*Microsecond).String() != "0.001500s" {
+		t.Fatalf("Duration.String = %q", Duration(1500*Microsecond).String())
+	}
+}
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(3*Time(Second), func() { got = append(got, 3) })
+	s.At(1*Time(Second), func() { got = append(got, 1) })
+	s.At(2*Time(Second), func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 3*Time(Second) {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(Second), func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(Time(Second), func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() not reported")
+	}
+}
+
+func TestSchedulerCancelDuringRun(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	var e2 *Event
+	s.At(Time(Second), func() { s.Cancel(e2) })
+	e2 = s.At(2*Time(Second), func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulerReschedule(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	e := s.At(Time(Second), func() { at = s.Now() })
+	e = s.Reschedule(e, 5*Time(Second))
+	s.Run()
+	if at != 5*Time(Second) {
+		t.Fatalf("rescheduled event fired at %v", at)
+	}
+	if e.At() != 5*Time(Second) {
+		t.Fatalf("At() = %v", e.At())
+	}
+}
+
+func TestSchedulerRunUntilHorizon(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for i := 1; i <= 5; i++ {
+		i := i
+		s.At(Time(i)*Time(Second), func() { got = append(got, s.Now()) })
+	}
+	s.RunUntil(3 * Time(Second))
+	if len(got) != 3 {
+		t.Fatalf("executed %d events, want 3", len(got))
+	}
+	if s.Now() != 3*Time(Second) {
+		t.Fatalf("clock = %v, want horizon", s.Now())
+	}
+	// Remaining events still run afterwards.
+	s.RunUntil(10 * Time(Second))
+	if len(got) != 5 {
+		t.Fatalf("executed %d events total, want 5", len(got))
+	}
+	if s.Now() != 10*Time(Second) {
+		t.Fatalf("clock = %v, want 10s", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i)*Time(Second), func() {
+			count++
+			if count == 4 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("ran %d events after Stop, want 4", count)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(Time(Second), func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestSchedulerNegativeDelayPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	s.At(Time(Second), func() {
+		s.After(Duration(Second), func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 1 || got[0] != 2*Time(Second) {
+		t.Fatalf("nested event: %v", got)
+	}
+}
+
+// Property: for any multiset of event times, execution order is the sorted
+// order, with FIFO among equal timestamps.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := NewScheduler()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, v := range raw {
+			at := Time(v) * Time(Microsecond)
+			i := i
+			s.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		ok := sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].seq < fired[b].seq
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestSchedulerCancelProperty(t *testing.T) {
+	f := func(times []uint16, mask []bool) bool {
+		s := NewScheduler()
+		fired := map[int]bool{}
+		events := make([]*Event, len(times))
+		for i, v := range times {
+			i := i
+			events[i] = s.At(Time(v), func() { fired[i] = true })
+		}
+		cancelled := map[int]bool{}
+		for i := range events {
+			if i < len(mask) && mask[i] {
+				s.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		for i := range events {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDeriveSeedSeparation(t *testing.T) {
+	s1 := DeriveSeed(7, "mobility")
+	s2 := DeriveSeed(7, "traffic")
+	s3 := DeriveSeed(8, "mobility")
+	if s1 == s2 || s1 == s3 {
+		t.Fatalf("derived seeds collide: %d %d %d", s1, s2, s3)
+	}
+	if s1 != DeriveSeed(7, "mobility") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGJitterRange(t *testing.T) {
+	g := NewRNG(1)
+	if g.Jitter(0) != 0 {
+		t.Fatal("Jitter(0) != 0")
+	}
+	for i := 0; i < 1000; i++ {
+		j := g.Jitter(Second)
+		if j < 0 || j >= Second {
+			t.Fatalf("jitter out of range: %v", j)
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	// Consuming extra draws from one derived stream must not change
+	// another derived stream (paired-comparison property).
+	g1 := NewRNG(99)
+	a := g1.Derive("a")
+	b1 := g1.Derive("b")
+	firstB1 := b1.Float64()
+
+	g2 := NewRNG(99)
+	a2 := g2.Derive("a")
+	for i := 0; i < 50; i++ {
+		a2.Float64() // extra draws
+	}
+	b2 := g2.Derive("b")
+	if firstB1 != b2.Float64() {
+		t.Fatal("derived stream perturbed by sibling draws")
+	}
+	_ = a
+}
+
+func TestRNGExpPositive(t *testing.T) {
+	g := NewRNG(5)
+	sum := 0.0
+	for i := 0; i < 5000; i++ {
+		v := g.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / 5000
+	if mean < 1.6 || mean > 2.4 {
+		t.Fatalf("exp mean = %v, want ~2.0", mean)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	g := NewRNG(3)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	g := rand.New(rand.NewSource(1))
+	// Keep a standing population of events, replacing each as it fires.
+	var fire func()
+	fire = func() {
+		s.After(Duration(g.Int63n(int64(Second))), fire)
+	}
+	for i := 0; i < 1024; i++ {
+		s.After(Duration(g.Int63n(int64(Second))), fire)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

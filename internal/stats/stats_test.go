@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+}
+
+func TestStdDevPop(t *testing.T) {
+	// Known example: {2,4,4,4,5,5,7,9} has population stddev 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(StdDevPop(xs), 2) {
+		t.Fatalf("pop stddev = %v", StdDevPop(xs))
+	}
+	if StdDevPop(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if !almostEq(StdDevPop([]float64{5}), 0) {
+		t.Fatal("singleton")
+	}
+}
+
+func TestStdDevSample(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := 2 * math.Sqrt(8.0/7.0)
+	if !almostEq(StdDevSample(xs), want) {
+		t.Fatalf("sample stddev = %v want %v", StdDevSample(xs), want)
+	}
+	if StdDevSample([]float64{1}) != 0 {
+		t.Fatal("singleton sample stddev")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{10, 10, 10, 10}
+	if CI95(xs) != 0 {
+		t.Fatal("constant data must have zero CI")
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("singleton CI")
+	}
+	if CI95([]float64{1, 3}) <= 0 {
+		t.Fatal("CI must be positive for varying data")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("minmax = %v %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+// Property: population stddev is translation-invariant and scales with |c|.
+func TestStdDevProperties(t *testing.T) {
+	f := func(raw []int8, shift int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) + float64(shift)
+		}
+		return math.Abs(StdDevPop(xs)-StdDevPop(ys)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stddev is non-negative and zero for constant slices.
+func TestStdDevNonNegative(t *testing.T) {
+	f := func(raw []int8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		return StdDevPop(xs) >= 0 && StdDevSample(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package mtsim is a discrete-event simulator for TCP over multipath
+// routing in mobile ad hoc wireless networks. It reproduces, from scratch
+// and in pure Go, the system evaluated in:
+//
+//	Zhi Li and Yu-Kwong Kwok, "A New Multipath Routing Approach to
+//	Enhancing TCP Security in Ad Hoc Wireless Networks",
+//	Proc. International Conference on Parallel Processing Workshops
+//	(ICPPW 2005), pp. 372–379.
+//
+// The package bundles a deterministic event-driven simulation kernel, a
+// unit-disc radio channel with an IEEE 802.11b DCF MAC, random-waypoint
+// mobility, a packet-granularity TCP Reno implementation, three routing
+// protocols — DSR and AODV as baselines and MTS (Multipath TCP Security,
+// the paper's contribution) — plus the eavesdropper instrumentation and
+// metrics from the paper's evaluation (interception ratio, participating
+// nodes, relay-distribution σ, delay, throughput, delivery rate, control
+// overhead).
+//
+// # Quick start
+//
+//	cfg := mtsim.DefaultConfig()     // the paper's §IV-A setup
+//	cfg.Protocol = "MTS"
+//	cfg.MaxSpeed = 10                // m/s
+//	cfg.Seed = 42
+//	m, err := mtsim.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("interception ratio: %.3f\n", m.InterceptionRatio)
+//
+// Full sweeps (the paper's Figs. 5–11) are driven by Sweep / PaperSweep;
+// see cmd/experiments for the command-line harness and EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+package mtsim
+
+import (
+	"io"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/metrics"
+	"mtsim/internal/packet"
+	"mtsim/internal/scenario"
+	"mtsim/internal/sim"
+	"mtsim/internal/trace"
+)
+
+// NodeID identifies a node in a scenario (0 … Nodes-1).
+type NodeID = packet.NodeID
+
+// Config declares a single simulation run (nodes, field, mobility,
+// protocol, flows, eavesdropper, stack parameters). Obtain a baseline with
+// DefaultConfig and adjust.
+type Config = scenario.Config
+
+// FlowSpec names one TCP connection inside a Config.
+type FlowSpec = scenario.FlowSpec
+
+// Metrics is the complete result of one run: the paper's security metrics
+// (Figs. 5–7, Table I) and TCP metrics (Figs. 8–11) plus diagnostics.
+type Metrics = metrics.RunMetrics
+
+// RelayRow is one participating node's β/γ entry (Table I).
+type RelayRow = metrics.RelayRow
+
+// Sweep declares a protocol × speed × repetition experiment grid.
+type Sweep = experiment.Sweep
+
+// Result aggregates all runs of a sweep.
+type Result = experiment.Result
+
+// CellKey identifies one (protocol, speed) aggregation cell of a Result.
+type CellKey = experiment.CellKey
+
+// Figure describes one of the paper's evaluation figures.
+type Figure = experiment.Figure
+
+// Scenario is a built simulation; use Build for mid-run inspection and
+// custom instrumentation, or Run for the common path.
+type Scenario = scenario.Scenario
+
+// Sample is one point of a throughput-over-time series (Scenario.RunSampled).
+type Sample = scenario.Sample
+
+// Time is virtual time in nanoseconds; Duration a span thereof.
+type Time = sim.Time
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = sim.Duration
+
+// Common virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Seconds converts floating-point seconds to a Duration.
+func Seconds(s float64) Duration { return sim.Seconds(s) }
+
+// DefaultConfig returns the paper's §IV-A simulation setup: 50 nodes on a
+// 1000 m × 1000 m field, random waypoint with 1 s pause, 250 m radio range,
+// IEEE 802.11b, one FTP/TCP-Reno flow, a random eavesdropper, 200 s.
+func DefaultConfig() Config { return scenario.DefaultConfig() }
+
+// Protocols lists the paper's routing protocols: DSR, AODV, MTS.
+func Protocols() []string { return scenario.Protocols() }
+
+// AllProtocols additionally includes the §II related-work baselines:
+// SMR (split multipath) and SMR-BACKUP (Lim's backup-path scheme).
+func AllProtocols() []string { return scenario.AllProtocols() }
+
+// Run builds and executes one simulation, returning its metrics.
+func Run(cfg Config) (*Metrics, error) { return scenario.RunOne(cfg) }
+
+// Build wires a simulation without running it, for callers that want to
+// attach instrumentation or advance virtual time manually.
+func Build(cfg Config) (*Scenario, error) { return scenario.Build(cfg) }
+
+// PaperSweep returns the paper's evaluation grid (DSR/AODV/MTS ×
+// {2,5,10,15,20} m/s × 5 repetitions) over the given base configuration.
+func PaperSweep(base Config) Sweep { return experiment.PaperSweep(base) }
+
+// PaperFigures returns the definitions of the paper's Figs. 5–11: metric
+// extractors, units, and the qualitative shape the paper reports.
+func PaperFigures() []Figure { return experiment.PaperFigures() }
+
+// FigureByID looks up a figure definition ("fig5" … "fig11").
+func FigureByID(id string) (Figure, bool) { return experiment.FigureByID(id) }
+
+// Table1 runs the paper's Table I demonstration (per-node relay counts and
+// their normalization for one DSR scenario) and renders it.
+func Table1(base Config, seed int64) (string, error) { return experiment.Table1(base, seed) }
+
+// RenderTable1 formats an existing run's relay table in Table I layout.
+func RenderTable1(m *Metrics) string { return experiment.RenderTable1(m) }
+
+// AttachTrace mirrors every MAC-level send and receive of the scenario's
+// nodes into w as ns-2-style trace lines. Call between Build and Run.
+func AttachTrace(s *Scenario, w io.Writer) {
+	tr := trace.New(w, s.Sched)
+	for _, n := range s.Nodes {
+		tr.AttachNode(n)
+	}
+}

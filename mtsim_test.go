@@ -1,0 +1,102 @@
+package mtsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = "MTS"
+	cfg.Nodes = 20
+	cfg.Duration = 5 * Second
+	cfg.TCPStart = Time(500 * Millisecond)
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Protocol != "MTS" {
+		t.Fatalf("protocol = %q", m.Protocol)
+	}
+	if m.EventsRun == 0 {
+		t.Fatal("no events ran")
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes != 50 {
+		t.Fatalf("nodes = %d, want the paper's 50", cfg.Nodes)
+	}
+	if cfg.Duration != 200*Second {
+		t.Fatalf("duration = %v, want the paper's 200s", cfg.Duration)
+	}
+	if cfg.Field.Width() != 1000 || cfg.Field.Height() != 1000 {
+		t.Fatal("field is not 1000x1000")
+	}
+	if cfg.RxRange != 250 {
+		t.Fatalf("radio range = %v, want 250", cfg.RxRange)
+	}
+	if got := Protocols(); len(got) != 3 {
+		t.Fatalf("protocols = %v", got)
+	}
+}
+
+func TestFacadeFigures(t *testing.T) {
+	if len(PaperFigures()) != 7 {
+		t.Fatal("figure definitions incomplete")
+	}
+	if _, ok := FigureByID("fig7"); !ok {
+		t.Fatal("fig7 missing")
+	}
+}
+
+func TestFacadeSweepAndTable1(t *testing.T) {
+	base := DefaultConfig()
+	base.Nodes = 15
+	base.Duration = 4 * Second
+	base.TCPStart = Time(500 * Millisecond)
+	sw := PaperSweep(base)
+	sw.Protocols = []string{"MTS"}
+	sw.Speeds = []float64{5}
+	sw.Reps = 1
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, _ := FigureByID("fig9")
+	if !strings.Contains(res.Table(fig), "MTS") {
+		t.Fatal("table rendering broken")
+	}
+
+	out, err := Table1(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table I") {
+		t.Fatal("Table1 rendering broken")
+	}
+}
+
+func TestFacadeBuildInspection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 10
+	cfg.Duration = 2 * Second
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nodes) != 10 {
+		t.Fatalf("nodes = %d", len(s.Nodes))
+	}
+	m := s.Run()
+	if m == nil || m.Duration != cfg.Duration {
+		t.Fatal("run metrics broken")
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	if Seconds(2.5) != 2500*Millisecond {
+		t.Fatalf("Seconds(2.5) = %v", Seconds(2.5))
+	}
+}

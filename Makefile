@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet bench bench-smoke clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite; see PERFORMANCE.md for methodology.
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 5x .
+	$(GO) test -run xxx -bench . -benchmem ./internal/...
+
+# One-iteration smoke of every benchmark (CI).
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/...
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@ package mtsim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -57,6 +58,7 @@ func benchFigure(b *testing.B, figID string) {
 	cfg.MaxSpeed = 10
 	var acc float64
 	var events uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -75,6 +77,7 @@ func benchFigure(b *testing.B, figID string) {
 func BenchmarkTable1RelayNormalization(b *testing.B) {
 	cfg := benchBase()
 	var out string
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -130,6 +133,7 @@ func BenchmarkAblationCheckPeriod(b *testing.B) {
 	cfg := benchBase()
 	cfg.Protocol = "MTS"
 	cfg.MaxSpeed = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -155,6 +159,7 @@ func BenchmarkAblationMaxPaths(b *testing.B) {
 	cfg := benchBase()
 	cfg.Protocol = "MTS"
 	cfg.MaxSpeed = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -183,6 +188,7 @@ func BenchmarkAblationNoSwitching(b *testing.B) {
 	cfg.Protocol = "MTS"
 	cfg.MTS.SwitchOnCheck = false
 	cfg.MaxSpeed = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -211,6 +217,7 @@ func BenchmarkAblationRTSCTS(b *testing.B) {
 	cfg.Protocol = "MTS"
 	cfg.MAC.RTSThreshold = 1 << 30
 	cfg.MaxSpeed = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -236,6 +243,7 @@ func BenchmarkAblationExpandingRing(b *testing.B) {
 	cfg := benchBase()
 	cfg.Protocol = "AODV"
 	cfg.MaxSpeed = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -262,6 +270,7 @@ func BenchmarkRelatedWorkProtocols(b *testing.B) {
 	cfg := benchBase()
 	cfg.Protocol = "SMR"
 	cfg.MaxSpeed = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -272,20 +281,33 @@ func BenchmarkRelatedWorkProtocols(b *testing.B) {
 }
 
 // BenchmarkSimulatorEventRate measures the raw event-processing rate of
-// the full stack on the paper's default scenario.
+// the full stack at increasing node counts. The 50-node case is the
+// paper's default scenario; the larger fields keep the same node density
+// (the field area grows with the population) so neighbourhood size — and
+// hence per-transmission work — stays realistic while total population
+// grows.
 func BenchmarkSimulatorEventRate(b *testing.B) {
-	cfg := benchBase()
-	cfg.Protocol = "MTS"
-	cfg.MaxSpeed = 10
-	var events uint64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i + 1)
-		m, err := Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		events += m.EventsRun
+	for _, nodes := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			cfg := benchBase()
+			cfg.Protocol = "MTS"
+			cfg.MaxSpeed = 10
+			cfg.Nodes = nodes
+			// Constant density: the default is 50 nodes / 1000x1000 m.
+			side := 1000 * math.Sqrt(float64(nodes)/50)
+			cfg.Field = Field(side, side)
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				m, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += m.EventsRun
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

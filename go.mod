@@ -1,0 +1,3 @@
+module mtsim
+
+go 1.24

@@ -14,14 +14,21 @@ type Grid struct {
 	origin Point
 	cols   int
 	rows   int
-	cells  [][]int32       // cell index -> item ids
-	where  map[int32]int   // item id -> cell index
-	points map[int32]Point // item id -> exact position
+	cells  [][]cellItem  // cell index -> items (id + position)
+	where  map[int32]int // item id -> cell index
+}
+
+// cellItem stores the position inline with the id so that WithinRange—the
+// hot path—never touches a map.
+type cellItem struct {
+	id int32
+	p  Point
 }
 
 // NewGrid creates an index over the given bounds with the given cell size.
-// Items may lie slightly outside the bounds (they are clamped to the edge
-// cells), which tolerates floating-point drift at field borders.
+// Items may lie outside the bounds (they are clamped to the edge cells), so
+// bounds affect only query efficiency, never correctness; this tolerates
+// floating-point drift at field borders and nodes wandering off-field.
 func NewGrid(bounds Rect, cellSize float64) *Grid {
 	if cellSize <= 0 {
 		panic("geo: non-positive cell size")
@@ -39,27 +46,14 @@ func NewGrid(bounds Rect, cellSize float64) *Grid {
 		origin: Point{bounds.MinX, bounds.MinY},
 		cols:   cols,
 		rows:   rows,
-		cells:  make([][]int32, cols*rows),
+		cells:  make([][]cellItem, cols*rows),
 		where:  make(map[int32]int),
-		points: make(map[int32]Point),
 	}
 }
 
 func (g *Grid) cellIndex(p Point) int {
-	cx := int((p.X - g.origin.X) / g.cell)
-	cy := int((p.Y - g.origin.Y) / g.cell)
-	if cx < 0 {
-		cx = 0
-	}
-	if cx >= g.cols {
-		cx = g.cols - 1
-	}
-	if cy < 0 {
-		cy = 0
-	}
-	if cy >= g.rows {
-		cy = g.rows - 1
-	}
+	cx := min(max(int((p.X-g.origin.X)/g.cell), 0), g.cols-1)
+	cy := min(max(int((p.Y-g.origin.Y)/g.cell), 0), g.rows-1)
 	return cy*g.cols + cx
 }
 
@@ -68,14 +62,19 @@ func (g *Grid) Update(id int32, p Point) {
 	newCell := g.cellIndex(p)
 	if old, ok := g.where[id]; ok {
 		if old == newCell {
-			g.points[id] = p
-			return
+			items := g.cells[old]
+			for i := range items {
+				if items[i].id == id {
+					items[i].p = p
+					return
+				}
+			}
+			panic("geo: grid cell missing indexed item")
 		}
 		g.removeFromCell(id, old)
 	}
-	g.cells[newCell] = append(g.cells[newCell], id)
+	g.cells[newCell] = append(g.cells[newCell], cellItem{id, p})
 	g.where[id] = newCell
-	g.points[id] = p
 }
 
 // Remove deletes the item; removing an absent item is a no-op.
@@ -86,13 +85,12 @@ func (g *Grid) Remove(id int32) {
 	}
 	g.removeFromCell(id, cell)
 	delete(g.where, id)
-	delete(g.points, id)
 }
 
 func (g *Grid) removeFromCell(id int32, cell int) {
 	items := g.cells[cell]
-	for i, v := range items {
-		if v == id {
+	for i := range items {
+		if items[i].id == id {
 			items[i] = items[len(items)-1]
 			g.cells[cell] = items[:len(items)-1]
 			return
@@ -105,37 +103,39 @@ func (g *Grid) Len() int { return len(g.where) }
 
 // Position returns the stored position of an item.
 func (g *Grid) Position(id int32) (Point, bool) {
-	p, ok := g.points[id]
-	return p, ok
+	cell, ok := g.where[id]
+	if !ok {
+		return Point{}, false
+	}
+	for _, it := range g.cells[cell] {
+		if it.id == id {
+			return it.p, true
+		}
+	}
+	return Point{}, false
 }
 
 // WithinRange appends to dst the IDs of all items within radius of centre
 // (inclusive) and returns the extended slice. The caller may pass a reused
 // buffer to avoid allocation. Order is unspecified but deterministic for a
 // given history of updates.
+//
+// Both block bounds are clamped into the grid, so a query centred beyond
+// the indexed bounds still scans the edge cells where out-of-bounds items
+// live: clamping is monotonic, so an item within radius always lands inside
+// the scanned block no matter how far either point strays.
 func (g *Grid) WithinRange(centre Point, radius float64, dst []int32) []int32 {
 	r2 := radius * radius
-	minCX := int((centre.X - radius - g.origin.X) / g.cell)
-	maxCX := int((centre.X + radius - g.origin.X) / g.cell)
-	minCY := int((centre.Y - radius - g.origin.Y) / g.cell)
-	maxCY := int((centre.Y + radius - g.origin.Y) / g.cell)
-	if minCX < 0 {
-		minCX = 0
-	}
-	if minCY < 0 {
-		minCY = 0
-	}
-	if maxCX >= g.cols {
-		maxCX = g.cols - 1
-	}
-	if maxCY >= g.rows {
-		maxCY = g.rows - 1
-	}
+	minCX := min(max(int((centre.X-radius-g.origin.X)/g.cell), 0), g.cols-1)
+	maxCX := min(max(int((centre.X+radius-g.origin.X)/g.cell), 0), g.cols-1)
+	minCY := min(max(int((centre.Y-radius-g.origin.Y)/g.cell), 0), g.rows-1)
+	maxCY := min(max(int((centre.Y+radius-g.origin.Y)/g.cell), 0), g.rows-1)
 	for cy := minCY; cy <= maxCY; cy++ {
-		for cx := minCX; cx <= maxCX; cx++ {
-			for _, id := range g.cells[cy*g.cols+cx] {
-				if g.points[id].DistanceSqTo(centre) <= r2 {
-					dst = append(dst, id)
+		row := g.cells[cy*g.cols+minCX : cy*g.cols+maxCX+1]
+		for _, items := range row {
+			for _, it := range items {
+				if it.p.DistanceSqTo(centre) <= r2 {
+					dst = append(dst, it.id)
 				}
 			}
 		}

@@ -139,10 +139,17 @@ type Mac struct {
 	backoffSlots int
 	backoffStart sim.Time
 
-	difsEvent    *sim.Event
-	backoffEvent *sim.Event
-	timeoutEvent *sim.Event
-	navEvent     *sim.Event
+	difsEvent    sim.TaskHandle
+	backoffEvent sim.TaskHandle
+	timeoutEvent sim.TaskHandle
+	navEvent     sim.TaskHandle
+
+	// ctsJob snapshots the job a post-CTS data transmission was scheduled
+	// for, so the SIFS-deferred send can detect job abandonment.
+	ctsJob *txJob
+
+	jobPool  sim.Pool[txJob]   // recycled interface-queue jobs
+	respPool sim.Pool[respJob] // recycled CTS/ACK response state
 
 	nav        sim.Time
 	responding int // scheduled or in-flight CTS/ACK responses
@@ -180,6 +187,78 @@ func New(id packet.NodeID, sched *sim.Scheduler, ch *phy.Channel, cfg Config, up
 // BindRadio attaches the radio this MAC transmits and receives through.
 // Must be called exactly once before the simulation starts.
 func (m *Mac) BindRadio(r *phy.Radio) { m.radio = r }
+
+// Timer kinds dispatched through the MAC's sim.Task implementation. All
+// MAC timers run as pooled task events: the 802.11 state machine arms and
+// revokes timers on every frame, so closure events would dominate the
+// simulator's allocation profile.
+const (
+	macNavExpire = iota
+	macDIFSDone
+	macBackoffDone
+	macCTSTimeout
+	macAckTimeout
+	macTxDoneRTS
+	macTxDoneData
+	macTxDoneBroadcast
+	macSendAfterCTS
+)
+
+// Run implements sim.Task, dispatching the MAC's timer events.
+func (m *Mac) Run(arg int) {
+	switch arg {
+	case macNavExpire:
+		m.navEvent = sim.TaskHandle{}
+		m.reconsider()
+	case macDIFSDone:
+		m.difsEvent = sim.TaskHandle{}
+		m.backoffStart = m.sched.Now()
+		m.backoffEvent = m.sched.AfterTaskCancellable(
+			sim.Duration(m.backoffSlots)*m.cfg.SlotTime, m, macBackoffDone)
+	case macBackoffDone:
+		m.backoffEvent = sim.TaskHandle{}
+		m.onBackoffDone()
+	case macCTSTimeout:
+		m.timeoutEvent = sim.TaskHandle{}
+		m.onCTSTimeout()
+	case macAckTimeout:
+		m.timeoutEvent = sim.TaskHandle{}
+		m.onAckTimeout()
+	case macTxDoneRTS:
+		m.state = stWaitCTS
+		timeout := m.cfg.SIFS + m.ctsAirtime() + 2*maxPropSlack + m.cfg.SlotTime
+		m.timeoutEvent = m.sched.AfterTaskCancellable(timeout, m, macCTSTimeout)
+	case macTxDoneData:
+		m.state = stWaitAck
+		timeout := m.cfg.SIFS + m.ackAirtime() + 2*maxPropSlack + m.cfg.SlotTime
+		m.timeoutEvent = m.sched.AfterTaskCancellable(timeout, m, macAckTimeout)
+	case macTxDoneBroadcast:
+		m.finishJob()
+	case macSendAfterCTS:
+		job := m.ctsJob
+		m.ctsJob = nil
+		if job == nil || m.cur != job {
+			return // job was abandoned meanwhile
+		}
+		m.transmitData(job)
+	}
+}
+
+// acquireJob takes a txJob from the free list (or allocates one).
+func (m *Mac) acquireJob(p *packet.Packet, next packet.NodeID) *txJob {
+	j := m.jobPool.Get()
+	j.pkt, j.next = p, next
+	return j
+}
+
+// releaseJob recycles a finished/dropped job. Any snapshot pointer to it is
+// cleared first so a recycled struct can never alias a live comparison.
+func (m *Mac) releaseJob(j *txJob) {
+	if m.ctsJob == j {
+		m.ctsJob = nil
+	}
+	m.jobPool.Put(j)
+}
 
 // ID returns the node ID this MAC serves.
 func (m *Mac) ID() packet.NodeID { return m.id }

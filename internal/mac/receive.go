@@ -27,13 +27,10 @@ func (m *Mac) setNAV(until sim.Time) {
 	if m.state == stContend {
 		m.pauseContention()
 	}
-	if m.navEvent != nil {
-		m.sched.Cancel(m.navEvent)
+	if m.navEvent.Pending() {
+		m.sched.CancelTask(m.navEvent)
 	}
-	m.navEvent = m.sched.At(until, func() {
-		m.navEvent = nil
-		m.reconsider()
-	})
+	m.navEvent = m.sched.AtTaskCancellable(until, m, macNavExpire)
 }
 
 // RxEnd implements phy.Listener: a decodable frame finished arriving.
@@ -88,9 +85,9 @@ func (m *Mac) handleCTS(f *packet.Frame) {
 	if m.state != stWaitCTS || m.cur == nil || f.TxFrom != m.cur.next {
 		return
 	}
-	if m.timeoutEvent != nil {
-		m.sched.Cancel(m.timeoutEvent)
-		m.timeoutEvent = nil
+	if m.timeoutEvent.Pending() {
+		m.sched.CancelTask(m.timeoutEvent)
+		m.timeoutEvent = sim.TaskHandle{}
 	}
 	m.state = stTxData // committed; a duplicate CTS must not re-trigger
 	m.sendDataAfterCTS()
@@ -128,11 +125,52 @@ func (m *Mac) handleAck(f *packet.Frame) {
 	if m.state != stWaitAck || m.cur == nil || f.TxFrom != m.cur.next {
 		return
 	}
-	if m.timeoutEvent != nil {
-		m.sched.Cancel(m.timeoutEvent)
-		m.timeoutEvent = nil
+	if m.timeoutEvent.Pending() {
+		m.sched.CancelTask(m.timeoutEvent)
+		m.timeoutEvent = sim.TaskHandle{}
 	}
 	m.finishJob()
+}
+
+// respJob is the pooled state of one in-flight CTS/ACK response: the frame
+// to send and its airtime, dispatched SIFS after the eliciting frame
+// (respSend) and again when the response leaves the air (respDone).
+type respJob struct {
+	m       *Mac
+	f       *packet.Frame
+	airtime sim.Duration
+}
+
+const (
+	respSend = iota
+	respDone
+)
+
+// Run implements sim.Task.
+func (r *respJob) Run(arg int) {
+	m := r.m
+	switch arg {
+	case respSend:
+		if m.radio.Transmitting() {
+			// We started another transmission at the same instant; the
+			// response is lost and the requester will time out.
+			m.responding--
+			m.releaseResp(r)
+			m.reconsider()
+			return
+		}
+		m.Stats.ResponsesSent++
+		m.put(r.f, r.airtime)
+		m.sched.AfterTask(r.airtime, r, respDone)
+	case respDone:
+		m.responding--
+		m.releaseResp(r)
+		m.reconsider()
+	}
+}
+
+func (m *Mac) releaseResp(r *respJob) {
+	m.respPool.Put(r)
 }
 
 // respond sends a CTS or ACK SIFS after the eliciting frame, bypassing
@@ -143,19 +181,7 @@ func (m *Mac) respond(f *packet.Frame, airtime sim.Duration) {
 	if m.state == stContend {
 		m.pauseContention()
 	}
-	m.sched.After(m.cfg.SIFS, func() {
-		if m.radio.Transmitting() {
-			// We started another transmission at the same instant; the
-			// response is lost and the requester will time out.
-			m.responding--
-			m.reconsider()
-			return
-		}
-		m.Stats.ResponsesSent++
-		m.put(f, airtime)
-		m.sched.After(airtime, func() {
-			m.responding--
-			m.reconsider()
-		})
-	})
+	r := m.respPool.Get()
+	r.m, r.f, r.airtime = m, f, airtime
+	m.sched.AfterTask(m.cfg.SIFS, r, respSend)
 }

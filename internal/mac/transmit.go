@@ -14,7 +14,7 @@ func (m *Mac) Send(p *packet.Packet, next packet.NodeID) {
 		m.Stats.QueueDrops++
 		return
 	}
-	job := &txJob{pkt: p, next: next}
+	job := m.acquireJob(p, next)
 	if next != packet.Broadcast && p.Size >= m.cfg.RTSThreshold {
 		job.useRTS = true
 	}
@@ -32,6 +32,7 @@ func (m *Mac) DropWhere(pred func(p *packet.Packet, next packet.NodeID) bool) in
 		if pred(j.pkt, j.next) {
 			dropped++
 			m.Stats.QueueDrops++
+			m.releaseJob(j)
 		} else {
 			kept = append(kept, j)
 		}
@@ -73,37 +74,32 @@ func (m *Mac) drawBackoff() int { return m.rng.Intn(m.cw + 1) }
 // pauseContention freezes the DIFS wait / backoff countdown, banking fully
 // elapsed slots.
 func (m *Mac) pauseContention() {
-	if m.difsEvent != nil {
-		m.sched.Cancel(m.difsEvent)
-		m.difsEvent = nil
+	if m.difsEvent.Pending() {
+		m.sched.CancelTask(m.difsEvent)
+		m.difsEvent = sim.TaskHandle{}
 	}
-	if m.backoffEvent != nil {
+	if m.backoffEvent.Pending() {
 		elapsed := m.sched.Now().Sub(m.backoffStart)
 		done := int(elapsed / m.cfg.SlotTime)
 		if done > m.backoffSlots {
 			done = m.backoffSlots
 		}
 		m.backoffSlots -= done
-		m.sched.Cancel(m.backoffEvent)
-		m.backoffEvent = nil
+		m.sched.CancelTask(m.backoffEvent)
+		m.backoffEvent = sim.TaskHandle{}
 	}
 }
 
 // resumeContention (re)starts the DIFS wait, then counts down the remaining
-// backoff slots.
+// backoff slots (macDIFSDone arms the backoff timer; see Mac.Run).
 func (m *Mac) resumeContention() {
-	if m.difsEvent != nil || m.backoffEvent != nil {
+	if m.difsEvent.Pending() || m.backoffEvent.Pending() {
 		return // already counting
 	}
-	m.difsEvent = m.sched.After(m.cfg.DIFS, func() {
-		m.difsEvent = nil
-		m.backoffStart = m.sched.Now()
-		m.backoffEvent = m.sched.After(sim.Duration(m.backoffSlots)*m.cfg.SlotTime, m.onBackoffDone)
-	})
+	m.difsEvent = m.sched.AfterTaskCancellable(m.cfg.DIFS, m, macDIFSDone)
 }
 
 func (m *Mac) onBackoffDone() {
-	m.backoffEvent = nil
 	m.backoffSlots = 0
 	job := m.cur
 	if job == nil {
@@ -159,11 +155,7 @@ func (m *Mac) transmitRTS(job *txJob) {
 	}
 	airtime := m.txTime(m.cfg.RTSBytes, m.cfg.BasicRate)
 	m.put(f, airtime)
-	m.sched.After(airtime, func() {
-		m.state = stWaitCTS
-		timeout := m.cfg.SIFS + m.ctsAirtime() + 2*maxPropSlack + m.cfg.SlotTime
-		m.timeoutEvent = m.sched.After(timeout, m.onCTSTimeout)
-	})
+	m.sched.AfterTask(airtime, m, macTxDoneRTS)
 }
 
 func (m *Mac) transmitData(job *txJob) {
@@ -185,33 +177,25 @@ func (m *Mac) transmitData(job *txJob) {
 		NAV:     nav,
 	}
 	m.put(f, airtime)
-	m.sched.After(airtime, func() {
-		if broadcast {
-			m.finishJob()
-			return
-		}
-		m.state = stWaitAck
-		timeout := m.cfg.SIFS + m.ackAirtime() + 2*maxPropSlack + m.cfg.SlotTime
-		m.timeoutEvent = m.sched.After(timeout, m.onAckTimeout)
-	})
+	if broadcast {
+		m.sched.AfterTask(airtime, m, macTxDoneBroadcast)
+	} else {
+		m.sched.AfterTask(airtime, m, macTxDoneData)
+	}
 }
 
-// sendDataAfterCTS fires SIFS after a CTS is received.
+// sendDataAfterCTS fires SIFS after a CTS is received (see macSendAfterCTS
+// in Mac.Run for the deferred body).
 func (m *Mac) sendDataAfterCTS() {
 	job := m.cur
 	if job == nil {
 		return
 	}
-	m.sched.After(m.cfg.SIFS, func() {
-		if m.cur != job {
-			return // job was abandoned meanwhile
-		}
-		m.transmitData(job)
-	})
+	m.ctsJob = job
+	m.sched.AfterTask(m.cfg.SIFS, m, macSendAfterCTS)
 }
 
 func (m *Mac) onCTSTimeout() {
-	m.timeoutEvent = nil
 	job := m.cur
 	if job == nil {
 		return
@@ -226,7 +210,6 @@ func (m *Mac) onCTSTimeout() {
 }
 
 func (m *Mac) onAckTimeout() {
-	m.timeoutEvent = nil
 	job := m.cur
 	if job == nil {
 		return
@@ -260,9 +243,13 @@ func (m *Mac) retryJob() {
 
 // finishJob completes the current job successfully and moves on.
 func (m *Mac) finishJob() {
+	job := m.cur
 	m.cur = nil
 	m.cw = m.cfg.CWMin
 	m.state = stIdle
+	if job != nil {
+		m.releaseJob(job)
+	}
 	m.reconsider()
 }
 
@@ -273,8 +260,10 @@ func (m *Mac) failJob() {
 	m.cw = m.cfg.CWMin
 	m.state = stIdle
 	m.Stats.LinkFailures++
+	pkt, next := job.pkt, job.next
+	m.releaseJob(job)
 	if m.up != nil {
-		m.up.LinkFailed(job.pkt, job.next)
+		m.up.LinkFailed(pkt, next)
 	}
 	m.reconsider()
 }

@@ -19,6 +19,17 @@ type Model interface {
 	PositionAt(t sim.Time) geo.Point
 }
 
+// SpeedBounded is implemented by models that can bound how fast they move.
+// The PHY layer uses the bound to decide how stale a cached position
+// snapshot in its spatial index may become before it must be refreshed:
+// 0 means stationary (never refresh), a positive bound allows coarse
+// epoch-based refresh. Models without the interface are treated as
+// unbounded, which is always safe but forces per-transmission refresh.
+type SpeedBounded interface {
+	// MaxSpeed returns an upper bound on the model's speed in m/s.
+	MaxSpeed() float64
+}
+
 // Static is a Model that never moves. Useful for unit tests and fixed
 // topologies (chains, grids).
 type Static struct {
@@ -27,6 +38,9 @@ type Static struct {
 
 // PositionAt implements Model.
 func (s *Static) PositionAt(sim.Time) geo.Point { return s.P }
+
+// MaxSpeed implements SpeedBounded: a static node never moves.
+func (s *Static) MaxSpeed() float64 { return 0 }
 
 // Waypoint is one leg of a random-waypoint trajectory.
 type waypointLeg struct {
@@ -75,6 +89,9 @@ func NewRandomWaypoint(field geo.Rect, minSpeed, maxSpeed float64, pause sim.Dur
 	m.nextLeg(0)
 	return m
 }
+
+// MaxSpeed implements SpeedBounded.
+func (m *RandomWaypoint) MaxSpeed() float64 { return m.maxSpeed }
 
 func (m *RandomWaypoint) randomPoint() geo.Point {
 	return geo.Point{

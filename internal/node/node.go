@@ -60,6 +60,9 @@ func New(id packet.NodeID, sched *sim.Scheduler, ch *phy.Channel, macCfg mac.Con
 	}
 	n.Mac = mac.New(id, sched, ch, macCfg, n, rng.Derive("mac"), uids)
 	n.Radio = ch.Attach(id, mob.PositionAt, n.Mac)
+	if sb, ok := mob.(mobility.SpeedBounded); ok {
+		n.Radio.SetMaxSpeed(sb.MaxSpeed())
+	}
 	n.Mac.BindRadio(n.Radio)
 	return n
 }

@@ -13,10 +13,24 @@
 //     corrupt each other (no capture effect). Energy from the
 //     (RxRange, CSRange] ring defers transmitters but does not corrupt.
 //   - A radio that is transmitting cannot receive (half duplex).
+//
+// # Receiver lookup
+//
+// Transmit resolves its audience through a uniform-grid spatial index
+// (geo.Grid) instead of scanning every attached radio, so the cost of one
+// transmission scales with the neighbourhood size, not the population. The
+// grid holds a position snapshot per radio; snapshots of moving radios are
+// refreshed lazily on a coarse epoch chosen so that the possible drift
+// since the last refresh stays below a slack margin, and every query is
+// inflated by that margin. Candidates returned by the grid are then
+// distance-checked against their exact current positions, so the delivered
+// receiver set is bit-for-bit identical to a full scan (the linear
+// reference path is kept, behind UseLinearScan, for equivalence tests).
 package phy
 
 import (
 	"math"
+	"slices"
 
 	"mtsim/internal/geo"
 	"mtsim/internal/packet"
@@ -42,6 +56,19 @@ type Radio struct {
 	pos func(sim.Time) geo.Point
 	lis Listener
 	ch  *Channel
+	idx int32 // index in ch.radios; doubles as the spatial-grid id
+
+	// maxSpeed bounds how fast the radio can move (m/s); it controls how
+	// stale the radio's grid snapshot may become. +Inf means unknown
+	// (raw Attach), which forces exact per-transmit snapshot refresh.
+	maxSpeed float64
+
+	// Position memo: pos(t) is pure in t for a fixed trajectory, and many
+	// queries land on the same timestamp (every receiver check of one
+	// transmission), so one evaluation per (radio, time) suffices.
+	posKnown bool
+	posTime  sim.Time
+	posCache geo.Point
 
 	transmitting bool
 	energy       int // count of in-CS-range transmissions currently on air
@@ -60,6 +87,73 @@ type reception struct {
 	collided bool
 }
 
+// positionAt returns the radio's position at t, memoised per timestamp.
+func (r *Radio) positionAt(t sim.Time) geo.Point {
+	if !r.posKnown || r.posTime != t {
+		r.posCache = r.pos(t)
+		r.posTime = t
+		r.posKnown = true
+	}
+	return r.posCache
+}
+
+// SetMaxSpeed declares an upper bound on the radio's movement speed in
+// m/s. 0 marks the radio stationary (its grid snapshot is never refreshed);
+// any finite bound lets the channel refresh snapshots on a coarse epoch
+// instead of at every transmission. Radios attach with an unknown (+Inf)
+// bound, which is always safe.
+func (r *Radio) SetMaxSpeed(v float64) {
+	if v < 0 {
+		panic("phy: negative max speed")
+	}
+	r.maxSpeed = v
+	r.ch.policyDirty = true
+	// Re-snapshot immediately: a radio leaving the movers set (v == 0)
+	// would otherwise freeze a stale snapshot while the query slack
+	// computed for it drops, silently shrinking its receivable range.
+	if r.ch.grid != nil {
+		r.ch.grid.Update(r.idx, r.positionAt(r.ch.sched.Now()))
+	}
+}
+
+// Run implements sim.Task: the radio's transmission-complete event.
+func (r *Radio) Run(arg int) {
+	if arg == radioTxDone {
+		r.transmitting = false
+	}
+}
+
+const radioTxDone = 0
+
+// Task args for the pooled arrival events.
+const (
+	arriveStartArg = 0
+	arriveEndArg   = 1
+)
+
+// arrival carries one receiver's view of one frame on the air. A single
+// pooled struct serves both the first-bit and last-bit events; it returns
+// to the channel's free list when the last-bit event has fired (arrival
+// events are never cancelled).
+type arrival struct {
+	ch        *Channel
+	rcv       *Radio
+	frame     *packet.Frame
+	decodable bool
+}
+
+// Run implements sim.Task.
+func (a *arrival) Run(arg int) {
+	switch arg {
+	case arriveStartArg:
+		a.ch.arriveStart(a.rcv, a.frame, a.decodable)
+	case arriveEndArg:
+		ch := a.ch
+		ch.arriveEnd(a.rcv, a.frame, a.decodable)
+		ch.arrPool.Put(a)
+	}
+}
+
 // Channel is the shared medium connecting all radios.
 type Channel struct {
 	sched   *sim.Scheduler
@@ -72,6 +166,24 @@ type Channel struct {
 	// arrival; returning true force-corrupts that delivery. Used by tests
 	// to inject losses on specific links.
 	DropFrame func(f *packet.Frame, to packet.NodeID) bool
+
+	// Spatial index over radio position snapshots.
+	grid        *geo.Grid
+	scratch     []int32  // reusable WithinRange buffer
+	movers      []*Radio // radios whose snapshots go stale (maxSpeed > 0)
+	policyDirty bool     // movers/epoch need recomputation
+	slackBudget float64  // max tolerated snapshot drift, metres
+	slack       float64  // current query-radius inflation
+	epoch       sim.Duration
+	nextRefresh sim.Time
+	exact       bool // refresh every transmit (some radio has unknown speed)
+
+	// linear switches Transmit to the O(N) scan over all radios — the
+	// reference implementation the grid path must match bit-for-bit.
+	linear bool
+
+	arrPool sim.Pool[arrival]   // recycled arrival structs
+	recPool sim.Pool[reception] // recycled receptions (decode state)
 }
 
 // DefaultRxRange and DefaultCSRange follow the paper (250 m transmission
@@ -95,12 +207,51 @@ func NewChannel(sched *sim.Scheduler, rxRange, csRange float64) *Channel {
 	}
 }
 
+// EnableGrid builds the receiver-lookup index over the given field. Call it
+// before attaching radios (scenario builders) for a well-sized grid;
+// channels that never call it self-configure from the radios' positions at
+// the first transmission. cellSize <= 0 picks the carrier-sense range,
+// which makes a range query touch a 3×3 cell block.
+func (c *Channel) EnableGrid(bounds geo.Rect, cellSize float64) {
+	if cellSize <= 0 {
+		cellSize = c.CSRange
+	}
+	if cellSize <= 0 {
+		// Degenerate zero-range channels must still build and run (nothing
+		// will ever be in range); any positive cell size works.
+		cellSize = 1
+	}
+	c.grid = geo.NewGrid(bounds, cellSize)
+	now := c.sched.Now()
+	for _, r := range c.radios {
+		c.grid.Update(r.idx, r.positionAt(now))
+	}
+	c.policyDirty = true
+}
+
+// UseLinearScan switches Transmit between the grid-indexed receiver lookup
+// (default) and the exhaustive scan over all attached radios. The two are
+// observably identical; the linear path exists as the reference for
+// equivalence and determinism tests.
+func (c *Channel) UseLinearScan(on bool) { c.linear = on }
+
 // Attach registers a radio for a node whose position over time is given by
 // pos. The listener (the node's MAC) must be set before any transmission
 // can reach the radio.
 func (c *Channel) Attach(id packet.NodeID, pos func(sim.Time) geo.Point, lis Listener) *Radio {
-	r := &Radio{ID: id, pos: pos, lis: lis, ch: c}
+	r := &Radio{
+		ID:       id,
+		pos:      pos,
+		lis:      lis,
+		ch:       c,
+		idx:      int32(len(c.radios)),
+		maxSpeed: math.Inf(1),
+	}
 	c.radios = append(c.radios, r)
+	if c.grid != nil {
+		c.grid.Update(r.idx, r.positionAt(c.sched.Now()))
+	}
+	c.policyDirty = true
 	return r
 }
 
@@ -108,7 +259,7 @@ func (c *Channel) Attach(id packet.NodeID, pos func(sim.Time) geo.Point, lis Lis
 func (c *Channel) Radios() []*Radio { return c.radios }
 
 // PositionOf returns the current position of a radio.
-func (c *Channel) PositionOf(r *Radio) geo.Point { return r.pos(c.sched.Now()) }
+func (c *Channel) PositionOf(r *Radio) geo.Point { return r.positionAt(c.sched.Now()) }
 
 // Busy reports whether the radio currently senses energy or is transmitting;
 // exposed for the MAC's carrier-sense checks.
@@ -116,6 +267,69 @@ func (r *Radio) Busy() bool { return r.energy > 0 || r.transmitting }
 
 // Transmitting reports whether the radio is currently sending.
 func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// recomputePolicy derives the snapshot-refresh schedule from the attached
+// radios' speed bounds: stationary radios are never refreshed, bounded
+// radios on an epoch sized so drift stays under slackBudget, and any radio
+// with an unknown bound forces exact (per-transmit) refresh.
+func (c *Channel) recomputePolicy() {
+	c.policyDirty = false
+	c.movers = c.movers[:0]
+	maxKnown := 0.0
+	c.exact = false
+	for _, r := range c.radios {
+		if r.maxSpeed == 0 {
+			continue
+		}
+		c.movers = append(c.movers, r)
+		if math.IsInf(r.maxSpeed, 1) {
+			c.exact = true
+		} else if r.maxSpeed > maxKnown {
+			maxKnown = r.maxSpeed
+		}
+	}
+	if c.slackBudget <= 0 {
+		c.slackBudget = 0.1 * c.CSRange
+	}
+	switch {
+	case c.exact || maxKnown == 0:
+		// Exact refresh (or nothing moves): queries need no inflation.
+		c.slack = 0
+		c.epoch = 0
+	default:
+		c.slack = c.slackBudget
+		c.epoch = sim.Seconds(c.slackBudget / maxKnown)
+	}
+	c.nextRefresh = c.sched.Now() // force a refresh at the next transmit
+}
+
+// refreshMovers re-snapshots every non-stationary radio into the grid.
+func (c *Channel) refreshMovers(now sim.Time) {
+	for _, r := range c.movers {
+		c.grid.Update(r.idx, r.positionAt(now))
+	}
+}
+
+// autoGrid self-configures the index for channels built without EnableGrid
+// (unit tests, ad-hoc topologies): bounds from the radios' current
+// positions. Radios may later wander outside; the grid clamps them to edge
+// cells, which affects only query cost, never the result.
+func (c *Channel) autoGrid(now sim.Time) {
+	if len(c.radios) == 0 {
+		c.EnableGrid(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0)
+		return
+	}
+	p0 := c.radios[0].positionAt(now)
+	b := geo.Rect{MinX: p0.X, MinY: p0.Y, MaxX: p0.X, MaxY: p0.Y}
+	for _, r := range c.radios[1:] {
+		p := r.positionAt(now)
+		b.MinX = math.Min(b.MinX, p.X)
+		b.MinY = math.Min(b.MinY, p.Y)
+		b.MaxX = math.Max(b.MaxX, p.X)
+		b.MaxY = math.Max(b.MaxY, p.Y)
+	}
+	c.EnableGrid(b, c.CSRange)
+}
 
 // Transmit puts a frame on the air for the given airtime. The caller (MAC)
 // is responsible for medium-access rules; the channel only models physics.
@@ -132,29 +346,63 @@ func (c *Channel) Transmit(tx *Radio, f *packet.Frame, airtime sim.Duration) {
 		tx.rx.collided = true
 	}
 
-	txPos := tx.pos(now)
+	txPos := tx.positionAt(now)
 	cs2 := c.CSRange * c.CSRange
 	rx2 := c.RxRange * c.RxRange
 
-	for _, rcv := range c.radios {
-		if rcv == tx {
-			continue
+	if c.linear {
+		for _, rcv := range c.radios {
+			if rcv == tx {
+				continue
+			}
+			c.deliverTo(rcv, txPos, f, airtime, now, cs2, rx2)
 		}
-		d2 := rcv.pos(now).DistanceSqTo(txPos)
-		if d2 > cs2 {
-			continue
+	} else {
+		if c.grid == nil {
+			c.autoGrid(now)
 		}
-		decodable := d2 <= rx2
-		prop := sim.Duration(0)
-		if c.PropSpeed > 0 {
-			prop = sim.Seconds(math.Sqrt(d2) / c.PropSpeed)
+		if c.policyDirty {
+			c.recomputePolicy()
 		}
-		rcv := rcv
-		c.sched.After(prop, func() { c.arriveStart(rcv, f, decodable) })
-		c.sched.After(prop+airtime, func() { c.arriveEnd(rcv, f, decodable) })
+		if c.exact || now >= c.nextRefresh {
+			c.refreshMovers(now)
+			if !c.exact {
+				c.nextRefresh = now.Add(c.epoch)
+			}
+		}
+		c.scratch = c.grid.WithinRange(txPos, c.CSRange+c.slack, c.scratch[:0])
+		// Candidate order must match the linear scan (= attach order): the
+		// scheduler breaks timestamp ties by insertion sequence, so the
+		// order arrivals are scheduled in is observable.
+		slices.Sort(c.scratch)
+		for _, id := range c.scratch {
+			rcv := c.radios[id]
+			if rcv == tx {
+				continue
+			}
+			c.deliverTo(rcv, txPos, f, airtime, now, cs2, rx2)
+		}
 	}
 
-	c.sched.After(airtime, func() { tx.transmitting = false })
+	c.sched.AfterTask(airtime, tx, radioTxDone)
+}
+
+// deliverTo distance-checks one candidate receiver against the
+// transmitter's exact position and, if in carrier-sense range, schedules
+// its pooled first-bit and last-bit arrival events.
+func (c *Channel) deliverTo(rcv *Radio, txPos geo.Point, f *packet.Frame, airtime sim.Duration, now sim.Time, cs2, rx2 float64) {
+	d2 := rcv.positionAt(now).DistanceSqTo(txPos)
+	if d2 > cs2 {
+		return
+	}
+	prop := sim.Duration(0)
+	if c.PropSpeed > 0 {
+		prop = sim.Seconds(math.Sqrt(d2) / c.PropSpeed)
+	}
+	a := c.arrPool.Get()
+	*a = arrival{ch: c, rcv: rcv, frame: f, decodable: d2 <= rx2}
+	c.sched.AfterTask(prop, a, arriveStartArg)
+	c.sched.AfterTask(prop+airtime, a, arriveEndArg)
 }
 
 func (c *Channel) arriveStart(rcv *Radio, f *packet.Frame, decodable bool) {
@@ -174,7 +422,8 @@ func (c *Channel) arriveStart(rcv *Radio, f *packet.Frame, decodable bool) {
 		rcv.FramesCollided++
 		return
 	}
-	rx := &reception{frame: f}
+	rx := c.recPool.Get()
+	rx.frame = f
 	if c.DropFrame != nil && c.DropFrame(f, rcv.ID) {
 		rx.collided = true
 	}
@@ -187,6 +436,7 @@ func (c *Channel) arriveEnd(rcv *Radio, f *packet.Frame, decodable bool) {
 		rx := rcv.rx
 		rcv.rx = nil
 		ok := !rx.collided
+		c.recPool.Put(rx)
 		if ok {
 			rcv.FramesDecoded++
 		} else {
@@ -205,5 +455,5 @@ func (c *Channel) arriveEnd(rcv *Radio, f *packet.Frame, decodable bool) {
 // frames; used by scenario builders and tests for connectivity checks.
 func (c *Channel) InRange(a, b *Radio) bool {
 	now := c.sched.Now()
-	return a.pos(now).DistanceSqTo(b.pos(now)) <= c.RxRange*c.RxRange
+	return a.positionAt(now).DistanceSqTo(b.positionAt(now)) <= c.RxRange*c.RxRange
 }

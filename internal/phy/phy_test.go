@@ -272,6 +272,22 @@ func TestBusyReflectsEnergy(t *testing.T) {
 	}
 }
 
+func TestZeroRangeChannelStillRuns(t *testing.T) {
+	// A degenerate zero-range channel must build its grid and run (nothing
+	// is ever in range) rather than panic on a zero cell size.
+	s := sim.NewScheduler()
+	c := NewChannel(s, 0, 0)
+	a := c.Attach(0, fixed(0, 0), &recorder{})
+	rb := &recorder{}
+	c.Attach(1, fixed(1, 0), rb)
+	c.EnableGrid(geo.Field(10, 10), 0)
+	c.Transmit(a, testFrame(0, 1), sim.Millisecond)
+	s.Run()
+	if len(rb.frames) != 0 || rb.ups != 0 {
+		t.Fatalf("zero-range channel delivered: frames=%d ups=%d", len(rb.frames), rb.ups)
+	}
+}
+
 func TestMovingNodeOutOfRangeNotReached(t *testing.T) {
 	s := sim.NewScheduler()
 	c := NewChannel(s, 250, 550)

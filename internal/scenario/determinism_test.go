@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"mtsim/internal/sim"
+)
+
+func determinismConfig(proto string, seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = proto
+	cfg.MaxSpeed = 10
+	cfg.Duration = 15 * sim.Second
+	cfg.TCPStart = sim.Time(2 * sim.Second)
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestGridMatchesLinearScan proves the spatial-index receiver lookup is
+// observably identical to the exhaustive scan it replaced: one full
+// scenario per paper protocol, run both ways from the same seed, must
+// produce byte-for-byte identical metrics (deliveries, delays, relay
+// tables, event counts — everything).
+func TestGridMatchesLinearScan(t *testing.T) {
+	for _, proto := range []string{"DSR", "AODV", "MTS"} {
+		t.Run(proto, func(t *testing.T) {
+			grid, err := Build(determinismConfig(proto, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mGrid := grid.Run()
+
+			linear, err := Build(determinismConfig(proto, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			linear.Channel.UseLinearScan(true)
+			mLinear := linear.Run()
+
+			if !reflect.DeepEqual(mGrid, mLinear) {
+				t.Fatalf("grid and linear-scan runs diverged:\ngrid:   %+v\nlinear: %+v",
+					*mGrid, *mLinear)
+			}
+			if mGrid.EventsRun == 0 || mGrid.SegmentsSent == 0 {
+				t.Fatalf("degenerate run: %+v", *mGrid)
+			}
+		})
+	}
+}
+
+// TestSameSeedSameMetrics is the plain determinism property: identical
+// configuration twice in fresh processes of the same binary must agree on
+// every metric.
+func TestSameSeedSameMetrics(t *testing.T) {
+	for _, proto := range []string{"DSR", "AODV", "MTS"} {
+		a, err := RunOne(determinismConfig(proto, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunOne(determinismConfig(proto, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed diverged:\n%+v\n%+v", proto, *a, *b)
+		}
+	}
+}

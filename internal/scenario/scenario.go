@@ -8,6 +8,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"mtsim/internal/app"
 	"mtsim/internal/core"
@@ -145,6 +146,16 @@ func Build(cfg Config) (*Scenario, error) {
 		Collector: metrics.NewCollector(),
 	}
 	s.Channel = phy.NewChannel(s.Sched, cfg.RxRange, cfg.CSRange)
+	// Receiver lookup is grid-indexed; size the index to the mobility field
+	// (grown to cover any pinned placements outside it) before radios attach.
+	bounds := cfg.Field
+	for _, p := range cfg.Placement {
+		bounds.MinX = math.Min(bounds.MinX, p.X)
+		bounds.MinY = math.Min(bounds.MinY, p.Y)
+		bounds.MaxX = math.Max(bounds.MaxX, p.X)
+		bounds.MaxY = math.Max(bounds.MaxY, p.Y)
+	}
+	s.Channel.EnableGrid(bounds, 0)
 	master := sim.NewRNG(cfg.Seed)
 	uids := &packet.UIDSource{}
 

@@ -341,6 +341,128 @@ func TestRNGPerm(t *testing.T) {
 	}
 }
 
+// taskRec is a Task recording the args it was dispatched with.
+type taskRec struct{ got []int }
+
+func (t *taskRec) Run(arg int) { t.got = append(t.got, arg) }
+
+func TestSchedulerTaskEventsDispatchInOrder(t *testing.T) {
+	s := NewScheduler()
+	tr := &taskRec{}
+	var closures []int
+	s.AtTask(2*Time(Second), tr, 2)
+	s.At(Time(Second), func() { closures = append(closures, 1) })
+	s.AtTask(Time(Second), tr, 1) // same time as the closure, scheduled later
+	s.AfterTask(Duration(3*Second), tr, 3)
+	s.Run()
+	if len(tr.got) != 3 || tr.got[0] != 1 || tr.got[1] != 2 || tr.got[2] != 3 {
+		t.Fatalf("task args = %v", tr.got)
+	}
+	if len(closures) != 1 {
+		t.Fatalf("closure events = %v", closures)
+	}
+	if s.Executed != 4 {
+		t.Fatalf("Executed = %d, want 4", s.Executed)
+	}
+}
+
+func TestSchedulerTaskEventPoolReuse(t *testing.T) {
+	s := NewScheduler()
+	tr := &taskRec{}
+	for i := 0; i < 100; i++ {
+		s.AfterTask(Duration(Millisecond), tr, i)
+		s.Step()
+	}
+	if len(tr.got) != 100 {
+		t.Fatalf("dispatched %d, want 100", len(tr.got))
+	}
+	// Sequential schedule/fire needs exactly one pooled Event.
+	if s.FreeListLen() != 1 {
+		t.Fatalf("free list holds %d events, want 1", s.FreeListLen())
+	}
+}
+
+func TestSchedulerTaskEventZeroAllocSteadyState(t *testing.T) {
+	s := NewScheduler()
+	tr := &taskRec{got: make([]int, 0, 4096)}
+	// Warm up the pool.
+	s.AfterTask(0, tr, 0)
+	s.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterTask(Duration(Millisecond), tr, 0)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("task scheduling allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Regression test for the pooled-scheduler lifecycle: rescheduling an event
+// that has already fired must create a fresh, working event and must not
+// touch the task-event free list (a stale *Event must never corrupt it).
+func TestSchedulerRescheduleAfterFired(t *testing.T) {
+	s := NewScheduler()
+	runs := 0
+	e := s.At(Time(Second), func() { runs++ })
+	s.Run()
+	if runs != 1 || e.index != -1 {
+		t.Fatalf("precondition: runs=%d index=%d", runs, e.index)
+	}
+	// Mix some pooled traffic in so a corrupted free list would be visible.
+	tr := &taskRec{}
+	s.AfterTask(Duration(Millisecond), tr, 7)
+	s.Step()
+	before := s.FreeListLen()
+
+	e2 := s.Reschedule(e, 5*Time(Second))
+	if e2 == nil || e2 == e {
+		t.Fatalf("Reschedule of fired event returned %v", e2)
+	}
+	s.Run()
+	if runs != 2 {
+		t.Fatalf("rescheduled fired event ran %d times, want 2", runs)
+	}
+	if s.FreeListLen() != before {
+		t.Fatalf("free list changed: %d -> %d", before, s.FreeListLen())
+	}
+}
+
+func TestSchedulerRescheduleNil(t *testing.T) {
+	s := NewScheduler()
+	if got := s.Reschedule(nil, Time(Second)); got != nil {
+		t.Fatalf("Reschedule(nil) = %v", got)
+	}
+}
+
+func TestSchedulerReschedulePooledPanics(t *testing.T) {
+	s := NewScheduler()
+	s.AtTask(Time(Second), &taskRec{}, 0)
+	e := s.heap[0].ev // white box: task events hand out no handles
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling a pooled task event did not panic")
+		}
+	}()
+	s.Reschedule(e, 2*Time(Second))
+}
+
+func TestSchedulerCancelAfterFired(t *testing.T) {
+	s := NewScheduler()
+	runs := 0
+	e := s.At(Time(Second), func() { runs++ })
+	s.Run()
+	s.Cancel(e) // must be a harmless no-op
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() not reported after post-fire Cancel")
+	}
+	if s.FreeListLen() != 0 {
+		t.Fatal("closure event leaked into the task free list")
+	}
+	if runs != 1 {
+		t.Fatalf("runs = %d", runs)
+	}
+}
+
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler()
 	g := rand.New(rand.NewSource(1))

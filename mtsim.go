@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"mtsim/internal/experiment"
+	"mtsim/internal/geo"
 	"mtsim/internal/metrics"
 	"mtsim/internal/packet"
 	"mtsim/internal/scenario"
@@ -78,6 +79,13 @@ type Scenario = scenario.Scenario
 
 // Sample is one point of a throughput-over-time series (Scenario.RunSampled).
 type Sample = scenario.Sample
+
+// Rect is an axis-aligned field rectangle in metres (Config.Field).
+type Rect = geo.Rect
+
+// Field returns the w×h field anchored at the origin, the usual simulation
+// field shape.
+func Field(w, h float64) Rect { return geo.Field(w, h) }
 
 // Time is virtual time in nanoseconds; Duration a span thereof.
 type Time = sim.Time

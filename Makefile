@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-smoke clean
+.PHONY: build test test-race vet bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector lane (the experiment sweep fans simulations out over a
+# worker pool; this keeps the aggregation path provably race-clean).
+test-race:
+	$(GO) test -race ./...
 
 # Full benchmark suite; see PERFORMANCE.md for methodology.
 bench:

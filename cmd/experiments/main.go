@@ -14,6 +14,11 @@
 //
 //	experiments -only fig7
 //	experiments -only table1
+//
+// The adversary sweep (threat model × k, beyond the paper's lone
+// eavesdropper; see internal/adversary):
+//
+//	experiments -only adversary -ks 1,2,4 -duration 30 -reps 2
 package main
 
 import (
@@ -38,9 +43,12 @@ func main() {
 		nodes     = flag.Int("nodes", 50, "number of nodes")
 		seedBase  = flag.Int64("seedbase", 1, "first seed; repetition r uses seedbase+r")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		only      = flag.String("only", "all", "what to produce: all, table1, timeseries, fig5..fig11")
+		only      = flag.String("only", "all", "what to produce: all, table1, timeseries, adversary, fig5..fig11")
 		outDir    = flag.String("out", "", "directory for CSV/markdown output (empty = stdout only)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		advModels = flag.String("advmodels", "coalition,mobile,blackhole,grayhole",
+			"comma-separated adversary models for -only adversary")
+		advKs = flag.String("ks", "1,2,4", "comma-separated coalition sizes k for -only adversary")
 	)
 	flag.Parse()
 
@@ -94,7 +102,23 @@ func main() {
 	sweep.Protocols = splitList(*protocols)
 	sweep.Speeds = parseSpeeds(*speeds)
 
+	if *only == "adversary" {
+		// Threat-model axis: every requested model at every coalition
+		// size k, on top of the protocol × speed grid.
+		for _, model := range splitList(*advModels) {
+			for _, ks := range splitList(*advKs) {
+				k, err := strconv.Atoi(ks)
+				fail(err)
+				sweep.Adversaries = append(sweep.Adversaries,
+					mtsim.AdversarySpec{Model: model, K: k})
+			}
+		}
+	}
+
 	total := len(sweep.Protocols) * len(sweep.Speeds) * sweep.Reps
+	if n := len(sweep.Adversaries); n > 0 {
+		total *= n
+	}
 	var done int64
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "running %d simulations (%s × %v m/s × %d reps, %.0fs each)...\n",
@@ -109,6 +133,26 @@ func main() {
 	fail(err)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\rsweep finished in %v\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if *only == "adversary" {
+		// One Ri-vs-adversary table per metric and speed, alongside the
+		// paper's per-speed figures.
+		var md strings.Builder
+		for _, fig := range mtsim.AdversaryFigures() {
+			for _, v := range sweep.Speeds {
+				table := res.AdversaryTable(fig, v)
+				fmt.Println(table)
+				md.WriteString(table)
+				md.WriteString("\n")
+				writeFile(*outDir, fmt.Sprintf("%s_speed%g.csv", fig.ID, v),
+					res.AdversaryCSV(fig, v))
+			}
+			fmt.Println("expect:", fig.Expect)
+			fmt.Println()
+		}
+		writeFile(*outDir, "adversary.txt", md.String())
+		return
 	}
 
 	var md strings.Builder

@@ -1,0 +1,210 @@
+// Package adversary generalizes the paper's single eavesdropping node
+// (§IV-B) into a pluggable threat-model subsystem. The paper measures the
+// interception ratio Ri = Pe/Pr against one randomly placed passive tap,
+// but its threat model worries about stronger opponents: related work
+// assumes cooperating interceptors (Shuffling) and insider packet-dropping
+// relays (AODVSEC's blackhole/grayhole). This package models them:
+//
+//   - Coalition: k colluding eavesdroppers whose Pe is the union of
+//     distinct DataIDs intercepted by any member;
+//   - Mobile: one eavesdropper that re-taps a different node every
+//     Interval, sweeping its vantage point across the field;
+//   - Dropper (blackhole/grayhole): compromised relays that participate in
+//     routing but silently drop the data packets they are asked to
+//     forward — always (blackhole) or with probability DropRate
+//     (grayhole) — while still collecting what they overhear.
+//
+// All models are passive with respect to the random streams of legitimate
+// traffic: taps never touch protocol RNGs or timers, so attaching an
+// adversary perturbs nothing but what it is modelled to perturb (droppers
+// remove frames from the air; pure eavesdroppers change no bit of the
+// run). A Coalition of k=1 reproduces the legacy internal/eaves numbers
+// bit-for-bit.
+package adversary
+
+import (
+	"fmt"
+
+	"mtsim/internal/node"
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// Model names accepted in Spec.Model.
+const (
+	// ModelEavesdropper is the paper's §IV-B adversary: one static
+	// passive tap. It is the default and what the legacy
+	// Config.Eavesdropper field selects.
+	ModelEavesdropper = "eavesdropper"
+	// ModelCoalition is k colluding static taps sharing what they hear.
+	ModelCoalition = "coalition"
+	// ModelMobile is one tap that moves to a new host every Interval.
+	ModelMobile = "mobile"
+	// ModelBlackhole is k compromised relays dropping all forwarded data.
+	ModelBlackhole = "blackhole"
+	// ModelGrayhole is k compromised relays dropping forwarded data with
+	// probability DropRate.
+	ModelGrayhole = "grayhole"
+)
+
+// Models lists every selectable adversary model.
+func Models() []string {
+	return []string{ModelEavesdropper, ModelCoalition, ModelMobile, ModelBlackhole, ModelGrayhole}
+}
+
+// Spec declares an adversary in a scenario configuration. The zero Spec
+// means "the paper's default": a single random eavesdropper.
+type Spec struct {
+	// Model selects the adversary class; empty means ModelEavesdropper.
+	Model string
+	// K is the number of vantage points: coalition members, hosts on a
+	// mobile eavesdropper's tour, or compromised relays. 0 means 1.
+	K int
+	// Nodes pins the compromised nodes explicitly (len overrides K); for
+	// ModelMobile it also fixes the tour order. Empty picks K random
+	// nodes that are not flow endpoints.
+	Nodes []packet.NodeID
+	// Interval is the mobile eavesdropper's re-tap period; 0 means 10 s.
+	Interval sim.Duration
+	// DropRate is the grayhole's per-packet drop probability; 0 means 0.5.
+	// Blackholes always drop.
+	DropRate float64
+}
+
+// IsZero reports whether the spec is the all-default legacy adversary.
+func (s Spec) IsZero() bool {
+	return s.Model == "" && s.K == 0 && len(s.Nodes) == 0 &&
+		s.Interval == 0 && s.DropRate == 0
+}
+
+// EffectiveK returns the number of vantage points the spec asks for.
+func (s Spec) EffectiveK() int {
+	if len(s.Nodes) > 0 {
+		return len(s.Nodes)
+	}
+	if s.K <= 0 {
+		return 1
+	}
+	return s.K
+}
+
+// EffectiveModel resolves an empty Model the same way everywhere (labels,
+// Build, scenario wiring): one vantage point defaults to the paper's
+// eavesdropper, several imply a coalition.
+func (s Spec) EffectiveModel() string {
+	if s.Model != "" {
+		return s.Model
+	}
+	if s.EffectiveK() > 1 {
+		return ModelCoalition
+	}
+	return ModelEavesdropper
+}
+
+// Label is the spec's canonical sweep-axis identity, "model×k"
+// (e.g. "coalition×4"), with explicitly-set tuning knobs appended
+// ("grayhole×2@p0.3", "mobile×3@5s") so differently-tuned specs never
+// collapse into one aggregation cell. It names cells and table rows.
+func (s Spec) Label() string {
+	lbl := fmt.Sprintf("%s×%d", s.EffectiveModel(), s.EffectiveK())
+	if s.DropRate > 0 {
+		lbl += fmt.Sprintf("@p%g", s.DropRate)
+	}
+	if s.Interval > 0 {
+		lbl += fmt.Sprintf("@%gs", s.Interval.Seconds())
+	}
+	return lbl
+}
+
+// Member is one vantage point's interception accounting: the frames it
+// overheard and the distinct logical payloads (DataIDs) among them.
+type Member struct {
+	Node     packet.NodeID
+	Frames   uint64
+	Distinct uint64
+}
+
+// Adversary is one attached threat model, reporting per-run metrics after
+// the simulation has run.
+type Adversary interface {
+	// Model returns the model name (ModelCoalition etc.).
+	Model() string
+	// Members returns the per-vantage-point accounting, in attach order
+	// (for ModelMobile, tour order).
+	Members() []Member
+	// Distinct returns the coalition Pe: the number of distinct data
+	// packets intercepted by at least one vantage point.
+	Distinct() uint64
+	// Frames returns the total overheard data frames over all members,
+	// retransmissions included.
+	Frames() uint64
+	// Ratio returns the interception ratio Ri = Pe/Pr (Eq. 1) for the
+	// union Pe, given the distinct packets the destination received.
+	Ratio(pr uint64) float64
+	// Dropped returns the data packets adversarial relays discarded
+	// (0 for purely passive models).
+	Dropped() uint64
+}
+
+// ratio is the shared Ri implementation: Pe/Pr with the degenerate cases
+// (nothing delivered, or no vantage points) defined as 0.
+func ratio(pe, pr uint64) float64 {
+	if pr == 0 {
+		return 0
+	}
+	return float64(pe) / float64(pr)
+}
+
+// Build attaches the spec's adversary model to the given host nodes
+// (already selected by the scenario builder; len(hosts) == EffectiveK).
+// rng drives model-internal randomness only — a mobile adversary's tour
+// order, a grayhole's coin flips — and must be a stream independent of the
+// legitimate stack's streams so that adding an adversary does not perturb
+// mobility, traffic or protocol behaviour. It may be nil for models that
+// need no randomness.
+func Build(spec Spec, hosts []*node.Node, rng *sim.RNG) (Adversary, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("adversary: no host nodes")
+	}
+	model := spec.EffectiveModel()
+	// Reject knobs the selected model would silently ignore — a grayhole
+	// experiment mistyped as a coalition must fail loudly, not report
+	// clean-network numbers.
+	if spec.DropRate != 0 && model != ModelGrayhole {
+		return nil, fmt.Errorf("adversary: DropRate applies to %q only, not %q", ModelGrayhole, model)
+	}
+	if spec.Interval != 0 && model != ModelMobile {
+		return nil, fmt.Errorf("adversary: Interval applies to %q only, not %q", ModelMobile, model)
+	}
+	switch model {
+	case ModelEavesdropper:
+		if len(hosts) != 1 {
+			return nil, fmt.Errorf("adversary: model %q wants exactly 1 node, have %d", model, len(hosts))
+		}
+		return NewCoalition(model, hosts), nil
+	case ModelCoalition:
+		return NewCoalition(model, hosts), nil
+	case ModelMobile:
+		interval := spec.Interval
+		if interval <= 0 {
+			interval = 10 * sim.Second
+		}
+		// An explicitly pinned tour is honoured in the declared order;
+		// only randomly selected hosts get a shuffled tour.
+		tourRNG := rng
+		if len(spec.Nodes) > 0 {
+			tourRNG = nil
+		}
+		return NewMobile(hosts, interval, tourRNG), nil
+	case ModelBlackhole:
+		return NewDropper(model, hosts, 1, nil), nil
+	case ModelGrayhole:
+		rate := spec.DropRate
+		if rate <= 0 {
+			rate = 0.5
+		}
+		return NewDropper(model, hosts, rate, rng), nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown model %q", spec.Model)
+	}
+}

@@ -1,0 +1,344 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"mtsim/internal/eaves"
+	"mtsim/internal/geo"
+	"mtsim/internal/mac"
+	"mtsim/internal/mobility"
+	"mtsim/internal/node"
+	"mtsim/internal/packet"
+	"mtsim/internal/phy"
+	"mtsim/internal/sim"
+)
+
+type nullProto struct{}
+
+func (nullProto) Name() string                             { return "NULL" }
+func (nullProto) Start()                                   {}
+func (nullProto) Send(*packet.Packet)                      {}
+func (nullProto) Receive(*packet.Packet, packet.NodeID)    {}
+func (nullProto) LinkFailed(*packet.Packet, packet.NodeID) {}
+
+// buildNet places nodes at the given points on a 250 m-range channel, so
+// tests control exactly which taps overhear which transmissions.
+func buildNet(t *testing.T, pts []geo.Point) (*sim.Scheduler, []*node.Node, *packet.UIDSource) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	ch := phy.NewChannel(sched, 250, 550)
+	uids := &packet.UIDSource{}
+	rng := sim.NewRNG(9)
+	var nodes []*node.Node
+	for i, p := range pts {
+		n := node.New(packet.NodeID(i), sched, ch, mac.Default80211b(),
+			&mobility.Static{P: p}, rng.Derive(fmt.Sprintf("n%d", i)), uids)
+		n.SetProtocol(nullProto{})
+		nodes = append(nodes, n)
+	}
+	return sched, nodes, uids
+}
+
+func dataPkt(uids *packet.UIDSource, src packet.NodeID, dataID uint64) *packet.Packet {
+	return &packet.Packet{
+		UID: uids.Next(), Kind: packet.KindData, Size: 1040,
+		Src: src, Dst: src + 1, TTL: 8, DataID: dataID,
+		TCP: &packet.TCPHeader{Flow: 1},
+	}
+}
+
+// line is a 5-node chain at 200 m spacing: with 250 m range each node hears
+// only its immediate neighbours, so taps at different positions intercept
+// overlapping but unequal subsets of the traffic.
+func line() []geo.Point {
+	return []geo.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}, {X: 800}}
+}
+
+// TestCoalitionUnionBounds is the core accounting property: the union Pe
+// is at least the best single member and at most the sum of all members,
+// over pseudo-random traffic the members partially share.
+func TestCoalitionUnionBounds(t *testing.T) {
+	sched, nodes, uids := buildNet(t, line())
+	c := NewCoalition(ModelCoalition, []*node.Node{nodes[1], nodes[3]})
+
+	// Node 0's packets reach only member 1; node 2's reach both members;
+	// node 4's reach only member 3. DataIDs overlap across senders.
+	rng := sim.NewRNG(1234)
+	for i := 0; i < 200; i++ {
+		src := packet.NodeID(2 * rng.Intn(3)) // 0, 2 or 4
+		id := uint64(1 + rng.Intn(60))
+		nodes[src].SendMac(dataPkt(uids, src, id), src+1)
+	}
+	sched.RunUntil(sim.Time(20 * sim.Second))
+
+	members := c.Members()
+	if len(members) != 2 {
+		t.Fatalf("members = %d, want 2", len(members))
+	}
+	var max, sum, frames uint64
+	for _, m := range members {
+		if m.Distinct > max {
+			max = m.Distinct
+		}
+		sum += m.Distinct
+		frames += m.Frames
+		if m.Distinct == 0 {
+			t.Fatalf("member %d heard nothing — topology broken", m.Node)
+		}
+	}
+	union := c.Distinct()
+	if union < max {
+		t.Fatalf("union %d < max member %d", union, max)
+	}
+	if union > sum {
+		t.Fatalf("union %d > sum of members %d", union, sum)
+	}
+	if max == sum {
+		t.Fatal("members heard identical traffic — test exercises nothing")
+	}
+	if c.Frames() != frames {
+		t.Fatalf("coalition frames %d != sum of member frames %d", c.Frames(), frames)
+	}
+	if c.Dropped() != 0 {
+		t.Fatal("passive coalition reported drops")
+	}
+}
+
+// TestCoalitionK1MatchesLegacy attaches the legacy lone eavesdropper and a
+// k=1 coalition to the same node: every counter and ratio must agree
+// bit-for-bit on identical overheard traffic.
+func TestCoalitionK1MatchesLegacy(t *testing.T) {
+	sched, nodes, uids := buildNet(t, line())
+	legacy := eaves.Attach(nodes[1])
+	c := NewCoalition(ModelEavesdropper, []*node.Node{nodes[1]})
+
+	rng := sim.NewRNG(77)
+	for i := 0; i < 120; i++ {
+		id := uint64(1 + rng.Intn(40))
+		nodes[0].SendMac(dataPkt(uids, 0, id), 1)
+		if i%3 == 0 { // retransmission of the same payload
+			nodes[0].SendMac(dataPkt(uids, 0, id), 1)
+		}
+	}
+	sched.RunUntil(sim.Time(30 * sim.Second))
+
+	if legacy.Frames == 0 {
+		t.Fatal("no traffic overheard")
+	}
+	if c.Frames() != legacy.Frames {
+		t.Fatalf("frames: coalition %d, legacy %d", c.Frames(), legacy.Frames)
+	}
+	if c.Distinct() != legacy.Distinct() {
+		t.Fatalf("distinct: coalition %d, legacy %d", c.Distinct(), legacy.Distinct())
+	}
+	for _, pr := range []uint64{0, 1, 7, legacy.Distinct(), 100000} {
+		if c.Ratio(pr) != legacy.Ratio(pr) {
+			t.Fatalf("ratio(%d): coalition %v, legacy %v", pr, c.Ratio(pr), legacy.Ratio(pr))
+		}
+	}
+	m := c.Members()[0]
+	if m.Node != legacy.ID || m.Frames != legacy.Frames || m.Distinct != legacy.Distinct() {
+		t.Fatalf("member view %+v disagrees with legacy (%d, %d, %d)",
+			m, legacy.ID, legacy.Frames, legacy.Distinct())
+	}
+	if c.Legacy() != c.members[0] {
+		t.Fatal("Legacy() is not the first member")
+	}
+}
+
+// TestRatioEdgeCases: Ri is defined as 0 when nothing was delivered
+// (pr == 0) and for an empty (k=0) coalition.
+func TestRatioEdgeCases(t *testing.T) {
+	_, nodes, uids := buildNet(t, line())
+	c := NewCoalition(ModelCoalition, []*node.Node{nodes[1]})
+	if got := c.Ratio(0); got != 0 {
+		t.Fatalf("ratio with pr=0 = %v, want 0", got)
+	}
+
+	empty := NewCoalition(ModelCoalition, nil)
+	if empty.Distinct() != 0 || empty.Frames() != 0 {
+		t.Fatal("empty coalition has non-zero counters")
+	}
+	if got := empty.Ratio(10); got != 0 {
+		t.Fatalf("empty coalition ratio = %v, want 0", got)
+	}
+	if empty.Legacy() != nil {
+		t.Fatal("empty coalition Legacy() != nil")
+	}
+	if len(empty.Members()) != 0 {
+		t.Fatal("empty coalition has members")
+	}
+	_ = uids
+}
+
+// TestMobileTourAccounting: only the active vantage point collects, the
+// tour advances every interval, and member Distinct (first-heard
+// attribution) sums exactly to the union.
+func TestMobileTourAccounting(t *testing.T) {
+	sched, nodes, uids := buildNet(t, line())
+	// nil rng keeps the declared tour order: node 1, then node 3.
+	m := NewMobile([]*node.Node{nodes[1], nodes[3]}, 5*sim.Second, nil)
+	if m.Active() != 1 {
+		t.Fatalf("initial vantage = %d, want 1", m.Active())
+	}
+
+	// Phase 1 (t<5s): node 0 transmits; only host 1 is in range AND active.
+	for i := uint64(1); i <= 10; i++ {
+		nodes[0].SendMac(dataPkt(uids, 0, i), 1)
+	}
+	sched.RunUntil(sim.Time(4 * sim.Second))
+	if m.Distinct() != 10 {
+		t.Fatalf("phase 1 distinct = %d, want 10", m.Distinct())
+	}
+
+	// Cross the 5 s boundary: the tap moves to node 3.
+	sched.RunUntil(sim.Time(6 * sim.Second))
+	if m.Active() != 3 {
+		t.Fatalf("vantage after move = %d, want 3", m.Active())
+	}
+
+	// Phase 2: node 0 transmits again — host 1 overhears but is no longer
+	// active, so nothing is counted; node 4 transmits — host 3 counts.
+	for i := uint64(11); i <= 15; i++ {
+		nodes[0].SendMac(dataPkt(uids, 0, i), 1)
+	}
+	for i := uint64(14); i <= 20; i++ { // overlaps phase-2 range, new to the union
+		nodes[4].SendMac(dataPkt(uids, 4, i), 3)
+	}
+	sched.RunUntil(sim.Time(9 * sim.Second))
+
+	members := m.Members()
+	if members[0].Distinct != 10 {
+		t.Fatalf("member 1 distinct = %d, want 10 (inactive tap must not count)", members[0].Distinct)
+	}
+	if members[1].Distinct != 7 {
+		t.Fatalf("member 3 distinct = %d, want 7", members[1].Distinct)
+	}
+	if m.Distinct() != members[0].Distinct+members[1].Distinct {
+		t.Fatalf("union %d != sum of first-heard members %d+%d",
+			m.Distinct(), members[0].Distinct, members[1].Distinct)
+	}
+
+	// The tour wraps: after another interval the tap is back on node 1.
+	sched.RunUntil(sim.Time(11 * sim.Second))
+	if m.Active() != 1 {
+		t.Fatalf("vantage after wrap = %d, want 1", m.Active())
+	}
+}
+
+// TestDropperPolicy: a blackhole discards transit data only — its own
+// originations and control traffic pass — and a grayhole drops a fraction.
+func TestDropperPolicy(t *testing.T) {
+	sched, nodes, uids := buildNet(t, line())
+	d := NewDropper(ModelBlackhole, []*node.Node{nodes[1]}, 1, nil)
+
+	// Transit data (originated elsewhere): dropped silently.
+	for i := uint64(1); i <= 5; i++ {
+		nodes[1].SendMac(dataPkt(uids, 0, i), 2)
+	}
+	// Own origination: passes.
+	nodes[1].SendMac(dataPkt(uids, 1, 100), 2)
+	// Routing control: passes.
+	nodes[1].SendMac(&packet.Packet{
+		UID: uids.Next(), Kind: packet.KindRREQ, Size: 64, Src: 0, Dst: 4, TTL: 8,
+	}, packet.Broadcast)
+	sched.RunUntil(sim.Time(5 * sim.Second))
+
+	if d.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5 (transit data only)", d.Dropped())
+	}
+	if nodes[1].Mac.Stats.FramesSent[packet.FrameData] != 2 {
+		t.Fatalf("frames sent = %d, want 2 (own data + RREQ)",
+			nodes[1].Mac.Stats.FramesSent[packet.FrameData])
+	}
+
+	// Grayhole at rate 0.5: over many transit packets it drops some but
+	// not all (the exact count is pinned by the seeded RNG).
+	sched2, nodes2, uids2 := buildNet(t, line())
+	g := NewDropper(ModelGrayhole, []*node.Node{nodes2[1]}, 0.5, sim.NewRNG(42))
+	const total = 200
+	for i := uint64(1); i <= total; i++ {
+		nodes2[1].SendMac(dataPkt(uids2, 0, i), 2)
+	}
+	sched2.RunUntil(sim.Time(60 * sim.Second))
+	if g.Dropped() == 0 || g.Dropped() == total {
+		t.Fatalf("grayhole dropped %d of %d, want a strict fraction", g.Dropped(), total)
+	}
+}
+
+// TestSpecDefaults pins the Spec helpers the sweep axis builds on.
+func TestSpecDefaults(t *testing.T) {
+	if !(Spec{}).IsZero() {
+		t.Fatal("zero spec not IsZero")
+	}
+	if (Spec{K: 2}).IsZero() {
+		t.Fatal("K=2 spec claims IsZero")
+	}
+	cases := []struct {
+		spec Spec
+		k    int
+		lbl  string
+	}{
+		{Spec{}, 1, "eavesdropper×1"},
+		// A model-less multi-vantage spec resolves to a coalition
+		// everywhere (label, Build, scenario wiring).
+		{Spec{K: 2}, 2, "coalition×2"},
+		{Spec{Model: ModelCoalition, K: 4}, 4, "coalition×4"},
+		{Spec{Model: ModelMobile}, 1, "mobile×1"},
+		{Spec{Model: ModelGrayhole, Nodes: []packet.NodeID{3, 5}}, 2, "grayhole×2"},
+		// Tuning knobs appear in the label so differently-tuned specs
+		// never share an aggregation cell.
+		{Spec{Model: ModelGrayhole, K: 2, DropRate: 0.3}, 2, "grayhole×2@p0.3"},
+		{Spec{Model: ModelMobile, K: 3, Interval: 5 * sim.Second}, 3, "mobile×3@5s"},
+	}
+	for _, c := range cases {
+		if got := c.spec.EffectiveK(); got != c.k {
+			t.Fatalf("%+v EffectiveK = %d, want %d", c.spec, got, c.k)
+		}
+		if got := c.spec.Label(); got != c.lbl {
+			t.Fatalf("%+v Label = %q, want %q", c.spec, got, c.lbl)
+		}
+	}
+	if len(Models()) != 5 {
+		t.Fatalf("models = %v", Models())
+	}
+}
+
+// TestBuildValidation: unknown models and empty host sets are rejected;
+// every known model builds.
+func TestBuildValidation(t *testing.T) {
+	_, nodes, _ := buildNet(t, line())
+	if _, err := Build(Spec{Model: "quantum"}, nodes[1:2], nil); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := Build(Spec{}, nil, nil); err == nil {
+		t.Fatal("empty host set accepted")
+	}
+	if _, err := Build(Spec{Model: ModelEavesdropper}, nodes[1:3], nil); err == nil {
+		t.Fatal("eavesdropper with 2 hosts accepted")
+	}
+	if _, err := Build(Spec{Model: ModelCoalition, DropRate: 0.4}, nodes[1:3], nil); err == nil {
+		t.Fatal("DropRate on a passive coalition accepted")
+	}
+	if _, err := Build(Spec{Model: ModelBlackhole, Interval: sim.Second}, nodes[1:2], nil); err == nil {
+		t.Fatal("Interval on a static blackhole accepted")
+	}
+	rng := sim.NewRNG(1)
+	for _, model := range Models() {
+		hosts := nodes[1:2]
+		if model == ModelCoalition || model == ModelMobile {
+			hosts = nodes[1:3]
+		}
+		adv, err := Build(Spec{Model: model}, hosts, rng)
+		if err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		if adv.Model() != model {
+			t.Fatalf("model %s reported as %s", model, adv.Model())
+		}
+		if len(adv.Members()) != len(hosts) {
+			t.Fatalf("model %s members = %d, want %d", model, len(adv.Members()), len(hosts))
+		}
+	}
+}

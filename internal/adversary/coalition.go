@@ -1,0 +1,69 @@
+package adversary
+
+import (
+	"mtsim/internal/eaves"
+	"mtsim/internal/node"
+)
+
+// Coalition is k colluding static eavesdroppers ("Shuffling"'s cooperating
+// interceptors): each member taps its own host exactly like the paper's
+// lone eavesdropper, and the members pool everything they hear, so the
+// coalition's Pe is the union of distinct DataIDs over all members. A
+// coalition of one is the paper's model, bit-for-bit.
+type Coalition struct {
+	model   string
+	members []*eaves.Eavesdropper
+	union   map[uint64]bool
+}
+
+// NewCoalition attaches one eavesdropper per host, all sharing a union
+// set. model is recorded verbatim (ModelEavesdropper for k=1 compat,
+// ModelCoalition otherwise).
+func NewCoalition(model string, hosts []*node.Node) *Coalition {
+	c := &Coalition{model: model, union: make(map[uint64]bool)}
+	for _, h := range hosts {
+		c.members = append(c.members, eaves.AttachShared(h, c.union))
+	}
+	return c
+}
+
+// Legacy returns the first member as a plain *eaves.Eavesdropper, the view
+// pre-adversary code (Scenario.Eaves) exposes for single-tap scenarios.
+func (c *Coalition) Legacy() *eaves.Eavesdropper {
+	if len(c.members) == 0 {
+		return nil
+	}
+	return c.members[0]
+}
+
+// Model implements Adversary.
+func (c *Coalition) Model() string { return c.model }
+
+// Members implements Adversary.
+func (c *Coalition) Members() []Member {
+	out := make([]Member, len(c.members))
+	for i, m := range c.members {
+		out[i] = Member{Node: m.ID, Frames: m.Frames, Distinct: m.Distinct()}
+	}
+	return out
+}
+
+// Distinct implements Adversary: the union Pe.
+func (c *Coalition) Distinct() uint64 { return uint64(len(c.union)) }
+
+// Frames implements Adversary.
+func (c *Coalition) Frames() uint64 {
+	var total uint64
+	for _, m := range c.members {
+		total += m.Frames
+	}
+	return total
+}
+
+// Ratio implements Adversary.
+func (c *Coalition) Ratio(pr uint64) float64 { return ratio(c.Distinct(), pr) }
+
+// Dropped implements Adversary: coalitions are purely passive.
+func (c *Coalition) Dropped() uint64 { return 0 }
+
+var _ Adversary = (*Coalition)(nil)

@@ -1,0 +1,91 @@
+package adversary
+
+import (
+	"mtsim/internal/eaves"
+	"mtsim/internal/node"
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// Dropper is a set of compromised relays (AODVSEC's insider threat): they
+// take part in route discovery like honest nodes — so routes form through
+// them — but silently discard the data packets they are asked to forward.
+// A blackhole (rate 1) drops everything; a grayhole drops each forwarded
+// data packet with probability rate, which is much harder to distinguish
+// from ordinary wireless loss. Being insiders, they also collect every
+// data packet they overhear, so the coalition interception metrics apply.
+type Dropper struct {
+	model   string
+	members []*eaves.Eavesdropper
+	union   map[uint64]bool
+	rate    float64
+	rng     *sim.RNG
+	dropped uint64
+}
+
+// NewDropper compromises the given hosts. rate is the per-packet drop
+// probability (1 for a blackhole); rng supplies the grayhole's coin flips
+// and may be nil when rate >= 1.
+func NewDropper(model string, hosts []*node.Node, rate float64, rng *sim.RNG) *Dropper {
+	d := &Dropper{
+		model: model,
+		union: make(map[uint64]bool),
+		rate:  rate,
+		rng:   rng,
+	}
+	for _, h := range hosts {
+		d.members = append(d.members, eaves.AttachShared(h, d.union))
+		host := h
+		h.DropFilter = func(p *packet.Packet, next packet.NodeID) bool {
+			return d.shouldDrop(host.ID(), p)
+		}
+	}
+	return d
+}
+
+// shouldDrop implements the insider policy: only transit data packets are
+// dropped. Packets the relay originates itself, and all routing control
+// traffic, pass through — a dropper that broke discovery would never be
+// routed through in the first place.
+func (d *Dropper) shouldDrop(self packet.NodeID, p *packet.Packet) bool {
+	if p.Kind != packet.KindData || p.DataID == 0 || p.Src == self {
+		return false
+	}
+	if d.rate < 1 && d.rng != nil && d.rng.Float64() >= d.rate {
+		return false
+	}
+	d.dropped++
+	return true
+}
+
+// Model implements Adversary.
+func (d *Dropper) Model() string { return d.model }
+
+// Members implements Adversary.
+func (d *Dropper) Members() []Member {
+	out := make([]Member, len(d.members))
+	for i, m := range d.members {
+		out[i] = Member{Node: m.ID, Frames: m.Frames, Distinct: m.Distinct()}
+	}
+	return out
+}
+
+// Distinct implements Adversary: the union Pe over all compromised relays.
+func (d *Dropper) Distinct() uint64 { return uint64(len(d.union)) }
+
+// Frames implements Adversary.
+func (d *Dropper) Frames() uint64 {
+	var total uint64
+	for _, m := range d.members {
+		total += m.Frames
+	}
+	return total
+}
+
+// Ratio implements Adversary.
+func (d *Dropper) Ratio(pr uint64) float64 { return ratio(d.Distinct(), pr) }
+
+// Dropped implements Adversary.
+func (d *Dropper) Dropped() uint64 { return d.dropped }
+
+var _ Adversary = (*Dropper)(nil)

@@ -15,7 +15,8 @@ import (
 type Eavesdropper struct {
 	ID packet.NodeID
 
-	seen map[uint64]bool // distinct logical payloads (DataID)
+	seen  map[uint64]bool // distinct logical payloads (DataID)
+	union map[uint64]bool // shared coalition union, nil for a lone tap
 
 	// Frames counts every overheard data frame, including duplicates and
 	// retransmissions.
@@ -24,24 +25,43 @@ type Eavesdropper struct {
 
 // Attach installs an eavesdropper tap on the given node.
 func Attach(n *node.Node) *Eavesdropper {
+	return AttachShared(n, nil)
+}
+
+// AttachShared installs an eavesdropper tap that additionally records every
+// intercepted DataID into union, a set shared by colluding eavesdroppers:
+// the coalition's Pe is the union of distinct payloads over all members
+// (internal/adversary). A nil union makes it a lone tap, exactly Attach.
+func AttachShared(n *node.Node, union map[uint64]bool) *Eavesdropper {
 	e := &Eavesdropper{
-		ID:   n.ID(),
-		seen: make(map[uint64]bool),
+		ID:    n.ID(),
+		seen:  make(map[uint64]bool),
+		union: union,
 	}
 	n.AddTap(e.tap)
 	return e
 }
 
-func (e *Eavesdropper) tap(f *packet.Frame) {
+// Counts reports whether an overheard frame carries interceptable payload:
+// a transport data packet with a logical DataID. Control packets, TCP ACKs
+// and MAC-level RTS/CTS/ACK frames carry no application information.
+func Counts(f *packet.Frame) bool {
 	if f.Kind != packet.FrameData || f.Payload == nil {
-		return
+		return false
 	}
 	p := f.Payload
-	if p.Kind != packet.KindData || p.DataID == 0 {
+	return p.Kind == packet.KindData && p.DataID != 0
+}
+
+func (e *Eavesdropper) tap(f *packet.Frame) {
+	if !Counts(f) {
 		return
 	}
 	e.Frames++
-	e.seen[p.DataID] = true
+	e.seen[f.Payload.DataID] = true
+	if e.union != nil {
+		e.union[f.Payload.DataID] = true
+	}
 }
 
 // Distinct returns Pe: the number of distinct data packets intercepted.

@@ -1,6 +1,6 @@
 // Package experiment runs the paper's evaluation: parameter sweeps over
-// protocol × MAXSPEED × repetition, executed on a worker pool (one
-// goroutine per independent simulation — the simulator itself is
+// protocol × MAXSPEED × adversary × repetition, executed on a worker pool
+// (one goroutine per independent simulation — the simulator itself is
 // single-threaded and deterministic), aggregated into the series behind
 // each figure and rendered as aligned text/CSV/markdown tables.
 package experiment
@@ -12,23 +12,29 @@ import (
 	"strings"
 	"sync"
 
+	"mtsim/internal/adversary"
 	"mtsim/internal/metrics"
 	"mtsim/internal/scenario"
 	"mtsim/internal/stats"
 )
 
-// Sweep declares a protocol × speed × repetition grid over a base
-// configuration.
+// Sweep declares a protocol × speed × adversary × repetition grid over a
+// base configuration.
 type Sweep struct {
 	Base      scenario.Config
 	Protocols []string
 	Speeds    []float64 // MAXSPEED values (m/s)
 	Reps      int
 	SeedBase  int64
+	// Adversaries is the optional threat-model axis (model × k). Empty
+	// runs the base configuration's adversary and leaves the cell keys'
+	// Adversary field blank, preserving the paper's plain sweep.
+	Adversaries []adversary.Spec
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
 	// OnRun, when set, is called after each completed run (progress
-	// reporting). It may be called from multiple goroutines.
+	// reporting). It may be called from multiple goroutines and must be
+	// safe for concurrent use.
 	OnRun func(m *metrics.RunMetrics)
 }
 
@@ -45,10 +51,12 @@ func PaperSweep(base scenario.Config) Sweep {
 	}
 }
 
-// CellKey identifies one aggregation cell.
+// CellKey identifies one aggregation cell. Adversary is the Spec label
+// ("coalition×4"); it stays "" when the sweep has no adversary axis.
 type CellKey struct {
-	Protocol string
-	Speed    float64
+	Protocol  string
+	Speed     float64
+	Adversary string
 }
 
 // Result holds every run of a sweep, indexed by cell.
@@ -57,19 +65,49 @@ type Result struct {
 	Runs  map[CellKey][]*metrics.RunMetrics
 }
 
+// advAxis returns the effective adversary axis: the declared Adversaries,
+// or a single entry reproducing the base configuration's adversary under
+// the blank label when no axis was declared. Axis entries whose canonical
+// labels collide (e.g. two pinned-node variants of the same model × k)
+// are disambiguated with a "#n" suffix so no two cells ever merge.
+func (s Sweep) advAxis() ([]adversary.Spec, []string) {
+	if len(s.Adversaries) == 0 {
+		return []adversary.Spec{s.Base.Adversary}, []string{""}
+	}
+	labels := make([]string, len(s.Adversaries))
+	counts := make(map[string]int, len(s.Adversaries))
+	for i, a := range s.Adversaries {
+		l := a.Label()
+		counts[l]++
+		if c := counts[l]; c > 1 {
+			l = fmt.Sprintf("%s#%d", l, c)
+		}
+		labels[i] = l
+	}
+	return s.Adversaries, labels
+}
+
 // Run executes the sweep. Repetition r uses seed SeedBase+r for every
-// protocol and speed, pairing the comparisons: identical mobility and
-// traffic endpoints across protocols.
+// protocol, speed and adversary, pairing the comparisons: identical
+// mobility and traffic endpoints across protocols and threat models.
 func (s Sweep) Run() (*Result, error) {
 	type job struct {
 		key  CellKey
+		adv  adversary.Spec
 		seed int64
 	}
+	specs, labels := s.advAxis()
 	var jobs []job
 	for _, p := range s.Protocols {
 		for _, v := range s.Speeds {
-			for r := 0; r < s.Reps; r++ {
-				jobs = append(jobs, job{key: CellKey{p, v}, seed: s.SeedBase + int64(r)})
+			for a := range specs {
+				for r := 0; r < s.Reps; r++ {
+					jobs = append(jobs, job{
+						key:  CellKey{Protocol: p, Speed: v, Adversary: labels[a]},
+						adv:  specs[a],
+						seed: s.SeedBase + int64(r),
+					})
+				}
 			}
 		}
 	}
@@ -95,13 +133,14 @@ func (s Sweep) Run() (*Result, error) {
 				cfg := s.Base
 				cfg.Protocol = j.key.Protocol
 				cfg.MaxSpeed = j.key.Speed
+				cfg.Adversary = j.adv
 				cfg.Seed = j.seed
 				m, err := scenario.RunOne(cfg)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
-						firstErr = fmt.Errorf("%s speed=%g seed=%d: %w",
-							j.key.Protocol, j.key.Speed, j.seed, err)
+						firstErr = fmt.Errorf("%s speed=%g adversary=%q seed=%d: %w",
+							j.key.Protocol, j.key.Speed, j.key.Adversary, j.seed, err)
 					}
 				} else {
 					res.Runs[j.key] = append(res.Runs[j.key], m)
@@ -148,11 +187,20 @@ func (r *Result) values(key CellKey, metric func(*metrics.RunMetrics) float64) [
 	return out
 }
 
+// defaultAdversary returns the Adversary label figure tables aggregate
+// over: blank for a plain paper sweep, otherwise the first axis entry.
+func (r *Result) defaultAdversary() string {
+	if len(r.Sweep.Adversaries) == 0 {
+		return ""
+	}
+	return r.Sweep.Adversaries[0].Label()
+}
+
 // Series returns the per-speed means for one protocol, in Speeds order.
 func (r *Result) Series(proto string, metric func(*metrics.RunMetrics) float64) []float64 {
 	out := make([]float64, 0, len(r.Sweep.Speeds))
 	for _, v := range r.Sweep.Speeds {
-		out = append(out, r.Mean(CellKey{proto, v}, metric))
+		out = append(out, r.Mean(CellKey{Protocol: proto, Speed: v, Adversary: r.defaultAdversary()}, metric))
 	}
 	return out
 }
@@ -174,7 +222,7 @@ func (r *Result) Table(fig Figure) string {
 	for _, v := range r.Sweep.Speeds {
 		fmt.Fprintf(&b, "%-14g", v)
 		for _, p := range r.Sweep.Protocols {
-			key := CellKey{p, v}
+			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary()}
 			fmt.Fprintf(&b, "%13.4f ±%5.3f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
 		}
 		b.WriteString("\n")
@@ -194,7 +242,56 @@ func (r *Result) CSV(fig Figure) string {
 	for _, v := range r.Sweep.Speeds {
 		fmt.Fprintf(&b, "%g", v)
 		for _, p := range r.Sweep.Protocols {
-			key := CellKey{p, v}
+			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary()}
+			fmt.Fprintf(&b, ",%.6f,%.6f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// AdversaryTable renders one metric of the adversary axis at a fixed
+// MAXSPEED as an aligned text table: one row per adversary (model × k, in
+// axis order), one column per protocol, mean ± 95% CI — the
+// Ri-vs-coalition-size view the paper's Fig. 7 generalizes to.
+func (r *Result) AdversaryTable(fig Figure, speed float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s", fig.ID, fig.Title)
+	if fig.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", fig.Unit)
+	}
+	fmt.Fprintf(&b, " at %g m/s\n", speed)
+	fmt.Fprintf(&b, "%-18s", "adversary")
+	for _, p := range r.Sweep.Protocols {
+		fmt.Fprintf(&b, "%20s", p)
+	}
+	b.WriteString("\n")
+	specs, labels := r.Sweep.advAxis()
+	for i := range specs {
+		fmt.Fprintf(&b, "%-18s", labels[i])
+		for _, p := range r.Sweep.Protocols {
+			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i]}
+			fmt.Fprintf(&b, "%13.4f ±%5.3f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// AdversaryCSV renders the adversary axis at a fixed MAXSPEED as CSV
+// (adversary label, then mean and ci per protocol).
+func (r *Result) AdversaryCSV(fig Figure, speed float64) string {
+	var b strings.Builder
+	b.WriteString("adversary")
+	for _, p := range r.Sweep.Protocols {
+		fmt.Fprintf(&b, ",%s_mean,%s_ci95", p, p)
+	}
+	b.WriteString("\n")
+	specs, labels := r.Sweep.advAxis()
+	for i := range specs {
+		b.WriteString(labels[i])
+		for _, p := range r.Sweep.Protocols {
+			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i]}
 			fmt.Fprintf(&b, ",%.6f,%.6f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
 		}
 		b.WriteString("\n")

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"mtsim/internal/adversary"
 	"mtsim/internal/geo"
 	"mtsim/internal/metrics"
 	"mtsim/internal/packet"
@@ -40,7 +41,7 @@ func TestSweepRunsAllCells(t *testing.T) {
 	}
 	for _, p := range s.Protocols {
 		for _, v := range s.Speeds {
-			runs := res.Runs[CellKey{p, v}]
+			runs := res.Runs[CellKey{Protocol: p, Speed: v}]
 			if len(runs) != 2 {
 				t.Fatalf("cell %s/%g has %d runs", p, v, len(runs))
 			}
@@ -65,8 +66,8 @@ func TestSweepPairing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := res.Runs[CellKey{"AODV", 5}]
-	b := res.Runs[CellKey{"MTS", 5}]
+	a := res.Runs[CellKey{Protocol: "AODV", Speed: 5}]
+	b := res.Runs[CellKey{Protocol: "MTS", Speed: 5}]
 	for i := range a {
 		if a[i].Seed != b[i].Seed {
 			t.Fatalf("rep %d seeds differ: %d vs %d", i, a[i].Seed, b[i].Seed)
@@ -102,6 +103,103 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 			if runs[i].Distinct != pruns[i].Distinct || runs[i].EventsRun != pruns[i].EventsRun {
 				t.Fatalf("cell %v run %d differs between serial and parallel execution", key, i)
 			}
+		}
+	}
+}
+
+func TestSweepAdversaryAxis(t *testing.T) {
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"MTS"},
+		Speeds:    []float64{10},
+		Reps:      2,
+		SeedBase:  1,
+		Adversaries: []adversary.Spec{
+			{Model: adversary.ModelEavesdropper},
+			{Model: adversary.ModelCoalition, K: 2},
+			{Model: adversary.ModelCoalition, K: 4},
+		},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("cells = %d, want one per adversary", len(res.Runs))
+	}
+	for _, spec := range s.Adversaries {
+		key := CellKey{Protocol: "MTS", Speed: 10, Adversary: spec.Label()}
+		runs := res.Runs[key]
+		if len(runs) != 2 {
+			t.Fatalf("cell %v has %d runs, want 2", key, len(runs))
+		}
+		for _, m := range runs {
+			if m.AdversaryK != spec.EffectiveK() {
+				t.Fatalf("cell %v ran with k=%d", key, m.AdversaryK)
+			}
+		}
+	}
+	// Same seed ⇒ same mobility and endpoints across the axis: the k=1
+	// coalition cell and the legacy cell must agree on the union Pe
+	// after the k-distinct selection draws the same first node.
+	e1 := res.Runs[CellKey{Protocol: "MTS", Speed: 10, Adversary: "eavesdropper×1"}]
+	c2 := res.Runs[CellKey{Protocol: "MTS", Speed: 10, Adversary: "coalition×2"}]
+	for i := range e1 {
+		if e1[i].Seed != c2[i].Seed {
+			t.Fatal("adversary axis broke seed pairing")
+		}
+		// A 2-coalition including more vantage points never hears less.
+		if c2[i].CoalitionDistinct < e1[i].CoalitionDistinct {
+			t.Fatalf("rep %d: coalition×2 union %d < single tap %d",
+				i, c2[i].CoalitionDistinct, e1[i].CoalitionDistinct)
+		}
+	}
+
+	// The adversary table renders one row per axis entry.
+	fig, ok := FigureByID("advRi")
+	if !ok {
+		t.Fatal("advRi figure missing")
+	}
+	table := res.AdversaryTable(fig, 10)
+	for _, want := range []string{"eavesdropper×1", "coalition×2", "coalition×4", "MTS"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("adversary table missing %q:\n%s", want, table)
+		}
+	}
+	csv := res.AdversaryCSV(fig, 10)
+	if !strings.HasPrefix(csv, "adversary,MTS_mean,MTS_ci95") {
+		t.Fatalf("adversary csv header:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 4 {
+		t.Fatalf("adversary csv rows:\n%s", csv)
+	}
+}
+
+func TestAdvAxisDisambiguatesCollidingLabels(t *testing.T) {
+	s := Sweep{
+		Adversaries: []adversary.Spec{
+			{Model: adversary.ModelCoalition, K: 2},
+			{Model: adversary.ModelCoalition, Nodes: []packet.NodeID{1, 2}}, // same canonical label
+			{Model: adversary.ModelMobile, K: 2},
+		},
+	}
+	_, labels := s.advAxis()
+	want := []string{"coalition×2", "coalition×2#2", "mobile×2"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestAdversaryFiguresComplete(t *testing.T) {
+	for _, f := range AdversaryFigures() {
+		if f.ID == "" || f.Metric == nil || f.Title == "" || f.Expect == "" {
+			t.Fatalf("incomplete adversary figure %+v", f)
+		}
+		got, ok := FigureByID(f.ID)
+		if !ok || got.Title != f.Title {
+			t.Fatalf("FigureByID cannot find %q", f.ID)
 		}
 	}
 }

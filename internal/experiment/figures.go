@@ -74,9 +74,52 @@ func PaperFigures() []Figure {
 	}
 }
 
-// FigureByID finds a figure definition.
+// AdversaryFigures returns the extension figures for the adversary sweep
+// (internal/adversary): how interception and delivery respond as the
+// threat model strengthens from the paper's lone eavesdropper to
+// coalitions, mobile taps and dropping relays.
+func AdversaryFigures() []Figure {
+	return []Figure{
+		{
+			ID:     "advRi",
+			Title:  "Coalition interception ratio (union Pe / Pr, Eq. 1 generalized)",
+			Unit:   "ratio",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.InterceptionRatio },
+			Expect: "Grows with coalition size k for every protocol; MTS lowest at each k (paths disjoint, no tap sees much).",
+		},
+		{
+			ID:     "advPe",
+			Title:  "Distinct data packets intercepted (union Pe)",
+			Unit:   "packets",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.CoalitionDistinct) },
+			Expect: "Union grows sublinearly in k: colluding taps overhear overlapping traffic.",
+		},
+		{
+			ID:     "advDrop",
+			Title:  "Data packets dropped by adversarial relays",
+			Unit:   "packets",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.AdversaryDropped) },
+			Expect: "Zero for passive models; blackholes drop more than grayholes at equal k.",
+		},
+		{
+			ID:     "advDeliv",
+			Title:  "Delivery rate under adversary",
+			Unit:   "fraction",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.DeliveryRate },
+			Expect: "Dropping relays depress delivery; multipath protocols route around them faster.",
+		},
+	}
+}
+
+// FigureByID finds a figure definition, searching the paper's figures and
+// the adversary extension figures.
 func FigureByID(id string) (Figure, bool) {
 	for _, f := range PaperFigures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	for _, f := range AdversaryFigures() {
 		if f.ID == id {
 			return f, true
 		}

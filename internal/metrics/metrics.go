@@ -116,6 +116,15 @@ func (c *Collector) DataTx() uint64 { return c.dataTx }
 // Drops returns the per-reason routing drop counters.
 func (c *Collector) Drops() map[string]uint64 { return c.drops }
 
+// AdversaryMember is one adversarial vantage point's interception
+// accounting within a RunMetrics: the data frames it overheard and the
+// distinct logical payloads among them.
+type AdversaryMember struct {
+	Node     packet.NodeID
+	Frames   uint64
+	Distinct uint64
+}
+
 // RunMetrics is the complete result of one simulation run.
 type RunMetrics struct {
 	Protocol string
@@ -131,6 +140,17 @@ type RunMetrics struct {
 	EavesdropperID      packet.NodeID
 	RelayRows           []RelayRow
 	Alpha               uint64
+
+	// Adversary metrics (extensions beyond the paper's single random
+	// eavesdropper; see internal/adversary). For the legacy model these
+	// mirror the single-tap numbers: AdversaryK == 1 and
+	// CoalitionDistinct/InterceptionRatio equal the lone eavesdropper's.
+	AdversaryModel    string
+	AdversaryK        int
+	CoalitionDistinct uint64 // union Pe over all vantage points
+	CoalitionFrames   uint64 // total overheard data frames, dups included
+	AdversaryDropped  uint64 // data packets discarded by dropping relays
+	AdversaryMembers  []AdversaryMember
 
 	// TCP metrics (Figs. 8–11).
 	AvgDelaySec    float64

@@ -38,6 +38,12 @@ type Node struct {
 	OnRelay     func(p *packet.Packet)                     // relayed a data packet (β)
 	OnRouteDrop func(p *packet.Packet, reason string)      // routing-layer drop
 	OnLocal     func(p *packet.Packet, from packet.NodeID) // delivered locally
+
+	// DropFilter, when set, vets every packet the routing layer hands to
+	// the MAC; returning true silently discards the packet (recorded as a
+	// routing drop with reason "adversary"). Adversarial relay models
+	// (blackhole/grayhole) install it; legitimate nodes leave it nil.
+	DropFilter func(p *packet.Packet, next packet.NodeID) bool
 }
 
 // FrameTap is implemented by routing protocols that listen promiscuously
@@ -142,7 +148,13 @@ func (n *Node) RNG() *sim.RNG { return n.rng }
 func (n *Node) UIDs() *packet.UIDSource { return n.uids }
 
 // SendMac implements routing.Env.
-func (n *Node) SendMac(p *packet.Packet, next packet.NodeID) { n.Mac.Send(p, next) }
+func (n *Node) SendMac(p *packet.Packet, next packet.NodeID) {
+	if n.DropFilter != nil && n.DropFilter(p, next) {
+		n.NotifyDrop(p, "adversary")
+		return
+	}
+	n.Mac.Send(p, next)
+}
 
 // DropQueued implements routing.Env.
 func (n *Node) DropQueued(pred func(p *packet.Packet, next packet.NodeID) bool) int {

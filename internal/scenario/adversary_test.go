@@ -1,0 +1,248 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"mtsim/internal/adversary"
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// advChain is the 4-node chain 0-1-2-3 with one flow end to end, so
+// adversaries placed on node 1 or 2 are guaranteed to sit on the route.
+func advChain(proto string) Config {
+	return chainConfig(proto, 3, 20*sim.Second)
+}
+
+// TestAdversarySpecZeroIsLegacy: an explicit single-eavesdropper spec and
+// the zero spec take the identical code path — bit-identical RunMetrics,
+// including the RNG-driven eavesdropper choice.
+func TestAdversarySpecZeroIsLegacy(t *testing.T) {
+	for _, proto := range []string{"DSR", "MTS"} {
+		cfg := determinismConfig(proto, 5)
+		legacy, err := RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Adversary = adversary.Spec{Model: adversary.ModelEavesdropper, K: 1}
+		explicit, err := RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, explicit) {
+			t.Fatalf("%s: explicit eavesdropper spec diverged from legacy:\n%+v\n%+v",
+				proto, *legacy, *explicit)
+		}
+	}
+}
+
+// TestCoalitionK1MatchesLegacyScenario: a random coalition of one picks
+// the same node (same derived stream, same draw) and intercepts the same
+// packets as the legacy eavesdropper; only the model label differs.
+func TestCoalitionK1MatchesLegacyScenario(t *testing.T) {
+	cfg := determinismConfig("DSR", 5)
+	legacy, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, K: 1}
+	coal, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coal.AdversaryModel != adversary.ModelCoalition || legacy.AdversaryModel != adversary.ModelEavesdropper {
+		t.Fatalf("models: %q vs %q", legacy.AdversaryModel, coal.AdversaryModel)
+	}
+	if coal.EavesdropperID != legacy.EavesdropperID {
+		t.Fatalf("k=1 coalition picked node %d, legacy picked %d",
+			coal.EavesdropperID, legacy.EavesdropperID)
+	}
+	if coal.InterceptionRatio != legacy.InterceptionRatio ||
+		coal.CoalitionDistinct != legacy.CoalitionDistinct ||
+		coal.CoalitionFrames != legacy.CoalitionFrames {
+		t.Fatalf("k=1 coalition interception diverged: %v/%d/%d vs %v/%d/%d",
+			coal.InterceptionRatio, coal.CoalitionDistinct, coal.CoalitionFrames,
+			legacy.InterceptionRatio, legacy.CoalitionDistinct, legacy.CoalitionFrames)
+	}
+	if coal.EventsRun != legacy.EventsRun {
+		t.Fatalf("passive coalition changed the event stream: %d vs %d",
+			coal.EventsRun, legacy.EventsRun)
+	}
+}
+
+// TestAdversaryModelsDeterministic: every model produces bit-identical
+// metrics from the same seed (grayhole coin flips and mobile tours come
+// from derived streams).
+func TestAdversaryModelsDeterministic(t *testing.T) {
+	specs := []adversary.Spec{
+		{Model: adversary.ModelCoalition, K: 3},
+		{Model: adversary.ModelMobile, K: 3, Interval: 2 * sim.Second},
+		{Model: adversary.ModelBlackhole, K: 2},
+		{Model: adversary.ModelGrayhole, K: 2, DropRate: 0.3},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Label(), func(t *testing.T) {
+			cfg := determinismConfig("MTS", 5)
+			cfg.Adversary = spec
+			a, err := RunOne(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunOne(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed diverged:\n%+v\n%+v", *a, *b)
+			}
+			if a.AdversaryModel != spec.Model || a.AdversaryK != spec.EffectiveK() {
+				t.Fatalf("metrics report %s×%d, want %s", a.AdversaryModel, a.AdversaryK, spec.Label())
+			}
+			if len(a.AdversaryMembers) != spec.EffectiveK() {
+				t.Fatalf("members = %d, want %d", len(a.AdversaryMembers), spec.EffectiveK())
+			}
+		})
+	}
+}
+
+// TestBlackholeKillsChainFlow: a blackhole pinned to the only relay chain
+// drops every data packet, so nothing is delivered, and the drops are
+// visible in the metrics.
+func TestBlackholeKillsChainFlow(t *testing.T) {
+	cfg := advChain("DSR")
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelBlackhole, Nodes: []packet.NodeID{1}}
+	m, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AdversaryDropped == 0 {
+		t.Fatal("on-path blackhole dropped nothing")
+	}
+	if m.Distinct != 0 {
+		t.Fatalf("delivered %d packets through a blackhole chain", m.Distinct)
+	}
+	if m.AdversaryModel != adversary.ModelBlackhole {
+		t.Fatalf("model = %q", m.AdversaryModel)
+	}
+}
+
+// TestGrayholeDegradesChainFlow: a 50% grayhole hurts but TCP's
+// retransmissions push some data through — strictly between the blackhole
+// and clean runs.
+func TestGrayholeDegradesChainFlow(t *testing.T) {
+	clean, err := RunOne(advChain("DSR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := advChain("DSR")
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelGrayhole, Nodes: []packet.NodeID{1}, DropRate: 0.5}
+	gray, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gray.AdversaryDropped == 0 {
+		t.Fatal("on-path grayhole dropped nothing")
+	}
+	if gray.Distinct == 0 {
+		t.Fatal("grayhole behaved like a blackhole: nothing delivered")
+	}
+	if gray.Distinct >= clean.Distinct {
+		t.Fatalf("grayhole did not degrade delivery: %d vs clean %d",
+			gray.Distinct, clean.Distinct)
+	}
+	if gray.Retransmits == 0 {
+		t.Fatal("TCP never retransmitted through a 50% grayhole")
+	}
+}
+
+// TestCoalitionInterceptsMoreThanMember: on a chain where both relays are
+// compromised, the union is at least each member's distinct count and the
+// coalition fields are wired through to RunMetrics coherently.
+func TestCoalitionInterceptsMoreThanMember(t *testing.T) {
+	cfg := advChain("DSR")
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, Nodes: []packet.NodeID{1, 2}}
+	m, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CoalitionDistinct == 0 {
+		t.Fatal("on-path coalition heard nothing")
+	}
+	var sum uint64
+	for _, mem := range m.AdversaryMembers {
+		if mem.Distinct > m.CoalitionDistinct {
+			t.Fatalf("member %d distinct %d exceeds union %d",
+				mem.Node, mem.Distinct, m.CoalitionDistinct)
+		}
+		sum += mem.Distinct
+	}
+	if m.CoalitionDistinct > sum {
+		t.Fatalf("union %d exceeds member sum %d", m.CoalitionDistinct, sum)
+	}
+	// Both relays see every packet of a 3-hop flow, so Ri ≈ 1.
+	if m.InterceptionRatio < 0.9 {
+		t.Fatalf("chain coalition Ri = %v, want ≈1", m.InterceptionRatio)
+	}
+}
+
+// TestMobileEavesdropperScenario: the mobile tap runs end to end, visits
+// its tour and reports per-host members.
+func TestMobileEavesdropperScenario(t *testing.T) {
+	cfg := advChain("DSR")
+	cfg.Adversary = adversary.Spec{
+		Model:    adversary.ModelMobile,
+		Nodes:    []packet.NodeID{1, 2},
+		Interval: 5 * sim.Second,
+	}
+	m, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AdversaryK != 2 {
+		t.Fatalf("k = %d, want 2", m.AdversaryK)
+	}
+	if m.CoalitionDistinct == 0 {
+		t.Fatal("mobile tap on the only chain heard nothing")
+	}
+	var active int
+	for _, mem := range m.AdversaryMembers {
+		if mem.Frames > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("mobile tap collected at only %d of 2 tour hosts", active)
+	}
+}
+
+// TestAdversaryValidation: scenario-level validation catches bad specs.
+func TestAdversaryValidation(t *testing.T) {
+	cfg := determinismConfig("DSR", 1)
+	cfg.Adversary = adversary.Spec{Model: "quantum"}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("unknown adversary model accepted")
+	}
+	cfg = determinismConfig("DSR", 1)
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, Nodes: []packet.NodeID{999}}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("out-of-range adversary node accepted")
+	}
+	cfg = determinismConfig("DSR", 1)
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, K: 500}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("coalition larger than the candidate pool accepted")
+	}
+	cfg = determinismConfig("DSR", 1)
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, Nodes: []packet.NodeID{2, 2}}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("duplicate pinned adversary nodes accepted")
+	}
+	// A spec that sets a knob without a model must not silently fall back
+	// to the passive eavesdropper.
+	cfg = determinismConfig("DSR", 1)
+	cfg.Adversary = adversary.Spec{DropRate: 0.4}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("model-less DropRate spec silently accepted")
+	}
+}

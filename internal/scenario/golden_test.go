@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mtsim/internal/metrics"
+	"mtsim/internal/sim"
+)
+
+// Regenerate the fixtures after an intentional behaviour change with:
+//
+//	go test ./internal/scenario -run TestGoldenMetrics -update
+//
+// and commit the diff — it is the reviewable record of what the change did
+// to every metric.
+var updateGolden = flag.Bool("update", false, "rewrite golden metric fixtures")
+
+// goldenFile pins the architecture the fixture was generated on: Go forbids
+// nothing about FMA contraction differing across GOARCH, so float metrics
+// are only guaranteed bit-identical on the same architecture.
+type goldenFile struct {
+	GOARCH  string              `json:"goarch"`
+	Metrics *metrics.RunMetrics `json:"metrics"`
+}
+
+func goldenConfig(proto string) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = proto
+	cfg.MaxSpeed = 10
+	cfg.Duration = 12 * sim.Second
+	cfg.TCPStart = sim.Time(2 * sim.Second)
+	// Seed 5 routes the flow over multiple hops for every protocol, so the
+	// fixtures lock non-trivial relay tables and interception ratios, not
+	// just a direct-neighbour transfer.
+	cfg.Seed = 5
+	return cfg
+}
+
+// TestGoldenMetrics locks the complete RunMetrics of one fixed-seed run per
+// protocol to committed JSON fixtures. Where TestSameSeedSameMetrics only
+// proves a binary agrees with itself, this fails with a readable field/line
+// diff when any commit changes any metric of a legacy scenario — the
+// regression harness behind the adversary refactor's bit-compatibility
+// guarantee.
+func TestGoldenMetrics(t *testing.T) {
+	for _, proto := range AllProtocols() {
+		t.Run(proto, func(t *testing.T) {
+			m, err := RunOne(goldenConfig(proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(goldenFile{GOARCH: runtime.GOARCH, Metrics: m}, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "golden", strings.ToLower(proto)+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture %s (generate with -update): %v", path, err)
+			}
+			var wantFile goldenFile
+			if err := json.Unmarshal(want, &wantFile); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", path, err)
+			}
+			if wantFile.GOARCH != runtime.GOARCH {
+				t.Skipf("fixture generated on %s, running on %s: float metrics are only bit-stable per architecture",
+					wantFile.GOARCH, runtime.GOARCH)
+			}
+			if diff := diffLines(string(want), string(got)); diff != "" {
+				t.Errorf("metrics diverged from %s (regenerate with -update if intended):\n%s",
+					path, diff)
+			}
+		})
+	}
+}
+
+// diffLines returns a unified-style listing of the lines that differ
+// between two texts, or "" when they are identical.
+func diffLines(want, got string) string {
+	if want == got {
+		return ""
+	}
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl == gl {
+			continue
+		}
+		if shown == 20 {
+			b.WriteString("  ... (more differences elided)\n")
+			break
+		}
+		fmt.Fprintf(&b, "  line %d:\n    -%s\n    +%s\n", i+1, wl, gl)
+		shown++
+	}
+	return b.String()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"mtsim/internal/adversary"
 	"mtsim/internal/app"
 	"mtsim/internal/core"
 	"mtsim/internal/eaves"
@@ -60,8 +61,16 @@ type Config struct {
 	CBRSize     int          // payload bytes, default 512
 
 	// Eavesdropper selects the eavesdropping node; RandomEavesdropper
-	// picks a random node that is not a flow endpoint.
+	// picks a random node that is not a flow endpoint. It is the legacy
+	// alias for the default Adversary (a single static eavesdropper) and
+	// is ignored when Adversary selects a stronger model.
 	Eavesdropper packet.NodeID
+
+	// Adversary selects the threat model (internal/adversary): coalition
+	// of k colluding eavesdroppers, mobile eavesdropper, or
+	// blackhole/grayhole dropping relays. The zero Spec is the paper's
+	// single random eavesdropper, honouring Eavesdropper above.
+	Adversary adversary.Spec
 
 	MAC  mac.Config
 	TCP  tcp.Config
@@ -121,6 +130,10 @@ type Scenario struct {
 	Senders   []*tcp.Sender
 	CBRs      []*app.CBR
 	Sinks     []*tcp.Sink
+	// Adversary is the attached threat model; Eaves is the legacy
+	// single-tap view of it (the first coalition member), nil for models
+	// that are not eavesdropper coalitions.
+	Adversary adversary.Adversary
 	Eaves     *eaves.Eavesdropper
 	Collector *metrics.Collector
 }
@@ -255,30 +268,89 @@ func Build(cfg Config) (*Scenario, error) {
 	}
 	s.Flows = flows
 
-	// Eavesdropper.
-	ev := cfg.Eavesdropper
-	if ev == RandomEavesdropper {
-		rng := master.Derive("eaves")
+	// Adversary. Non-endpoint nodes are the candidate hosts for random
+	// placement (an eavesdropper at a flow endpoint would trivially see
+	// everything).
+	candidates := func() []packet.NodeID {
 		endpoints := map[packet.NodeID]bool{}
 		for _, f := range flows {
 			endpoints[f.Src] = true
 			endpoints[f.Dst] = true
 		}
-		var candidates []packet.NodeID
+		var out []packet.NodeID
 		for i := 0; i < n; i++ {
 			if !endpoints[packet.NodeID(i)] {
-				candidates = append(candidates, packet.NodeID(i))
+				out = append(out, packet.NodeID(i))
 			}
 		}
-		if len(candidates) == 0 {
-			return nil, fmt.Errorf("scenario: no candidate eavesdropper among %d nodes", n)
+		return out
+	}
+
+	spec := cfg.Adversary
+	// A spec that sets any non-default knob must go through the full
+	// model path (where mismatched knobs are rejected loudly); only the
+	// genuinely all-default single eavesdropper takes the legacy route.
+	legacy := spec.IsZero() ||
+		(spec.Model == adversary.ModelEavesdropper && len(spec.Nodes) == 0 &&
+			spec.K <= 1 && spec.Interval == 0 && spec.DropRate == 0)
+	var hosts []*node.Node
+	var advRNG *sim.RNG
+	if legacy {
+		// The paper's single eavesdropper, honouring Config.Eavesdropper.
+		// This path reproduces the pre-adversary RNG consumption exactly
+		// (one "eaves" derivation and one draw, only when random), so
+		// legacy scenarios stay bit-identical.
+		ev := cfg.Eavesdropper
+		if ev == RandomEavesdropper {
+			rng := master.Derive("eaves")
+			cand := candidates()
+			if len(cand) == 0 {
+				return nil, fmt.Errorf("scenario: no candidate eavesdropper among %d nodes", n)
+			}
+			ev = cand[rng.Intn(len(cand))]
 		}
-		ev = candidates[rng.Intn(len(candidates))]
+		if int(ev) >= n || ev < 0 {
+			return nil, fmt.Errorf("scenario: eavesdropper %d out of range", ev)
+		}
+		spec.Model = adversary.ModelEavesdropper
+		hosts = []*node.Node{s.Nodes[ev]}
+	} else {
+		spec.Model = spec.EffectiveModel()
+		advRNG = master.Derive("eaves")
+		if len(spec.Nodes) > 0 {
+			seen := map[packet.NodeID]bool{}
+			for _, id := range spec.Nodes {
+				if int(id) >= n || id < 0 {
+					return nil, fmt.Errorf("scenario: adversary node %d out of range", id)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("scenario: duplicate adversary node %d", id)
+				}
+				seen[id] = true
+				hosts = append(hosts, s.Nodes[id])
+			}
+		} else {
+			k := spec.EffectiveK()
+			pool := candidates()
+			if k > len(pool) {
+				return nil, fmt.Errorf("scenario: adversary wants %d nodes, only %d non-endpoints", k, len(pool))
+			}
+			for i := 0; i < k; i++ {
+				j := advRNG.Intn(len(pool))
+				hosts = append(hosts, s.Nodes[pool[j]])
+				pool[j] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+			}
+		}
 	}
-	if int(ev) >= n || ev < 0 {
-		return nil, fmt.Errorf("scenario: eavesdropper %d out of range", ev)
+	adv, err := adversary.Build(spec, hosts, advRNG)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	s.Eaves = eaves.Attach(s.Nodes[ev])
+	s.Adversary = adv
+	if c, ok := adv.(*adversary.Coalition); ok {
+		s.Eaves = c.Legacy()
+	}
 
 	for _, nd := range s.Nodes {
 		nd.Start()
@@ -295,13 +367,21 @@ func (s *Scenario) Run() *metrics.RunMetrics {
 // Gather computes the RunMetrics from the current state (callable mid-run
 // for time series).
 func (s *Scenario) Gather() *metrics.RunMetrics {
+	members := s.Adversary.Members()
 	m := &metrics.RunMetrics{
 		Protocol:       s.Cfg.Protocol,
 		MaxSpeed:       s.Cfg.MaxSpeed,
 		Seed:           s.Cfg.Seed,
 		Duration:       s.Cfg.Duration,
-		EavesdropperID: s.Eaves.ID,
+		EavesdropperID: members[0].Node,
+		AdversaryModel: s.Adversary.Model(),
+		AdversaryK:     len(members),
 		Extra:          map[string]uint64{},
+	}
+	for _, mem := range members {
+		m.AdversaryMembers = append(m.AdversaryMembers, metrics.AdversaryMember{
+			Node: mem.Node, Frames: mem.Frames, Distinct: mem.Distinct,
+		})
 	}
 
 	var distinct, arrivals, segments, retx, timeouts uint64
@@ -330,7 +410,10 @@ func (s *Scenario) Gather() *metrics.RunMetrics {
 	if arrivals > 0 {
 		m.HighestInterception = float64(s.Collector.MaxBeta()) / float64(arrivals)
 	}
-	m.InterceptionRatio = s.Eaves.Ratio(distinct)
+	m.InterceptionRatio = s.Adversary.Ratio(distinct)
+	m.CoalitionDistinct = s.Adversary.Distinct()
+	m.CoalitionFrames = s.Adversary.Frames()
+	m.AdversaryDropped = s.Adversary.Dropped()
 
 	if distinct > 0 {
 		m.AvgDelaySec = totalDelay.Seconds() / float64(distinct)

@@ -34,6 +34,7 @@ package mtsim
 import (
 	"io"
 
+	"mtsim/internal/adversary"
 	"mtsim/internal/experiment"
 	"mtsim/internal/geo"
 	"mtsim/internal/metrics"
@@ -61,13 +62,37 @@ type Metrics = metrics.RunMetrics
 // RelayRow is one participating node's β/γ entry (Table I).
 type RelayRow = metrics.RelayRow
 
+// AdversarySpec declares a threat model for Config.Adversary: a coalition
+// of k colluding eavesdroppers, a mobile eavesdropper, or
+// blackhole/grayhole dropping relays. The zero Spec is the paper's single
+// random eavesdropper.
+type AdversarySpec = adversary.Spec
+
+// AdversaryMember is one vantage point's interception accounting inside
+// Metrics.AdversaryMembers.
+type AdversaryMember = metrics.AdversaryMember
+
+// Adversary model names for AdversarySpec.Model.
+const (
+	AdversaryEavesdropper = adversary.ModelEavesdropper
+	AdversaryCoalition    = adversary.ModelCoalition
+	AdversaryMobile       = adversary.ModelMobile
+	AdversaryBlackhole    = adversary.ModelBlackhole
+	AdversaryGrayhole     = adversary.ModelGrayhole
+)
+
+// AdversaryModels lists every selectable adversary model.
+func AdversaryModels() []string { return adversary.Models() }
+
 // Sweep declares a protocol × speed × repetition experiment grid.
 type Sweep = experiment.Sweep
 
 // Result aggregates all runs of a sweep.
 type Result = experiment.Result
 
-// CellKey identifies one (protocol, speed) aggregation cell of a Result.
+// CellKey identifies one (protocol, speed, adversary-label) aggregation
+// cell of a Result; the Adversary field is blank for sweeps without an
+// adversary axis.
 type CellKey = experiment.CellKey
 
 // Figure describes one of the paper's evaluation figures.
@@ -130,6 +155,10 @@ func PaperSweep(base Config) Sweep { return experiment.PaperSweep(base) }
 // PaperFigures returns the definitions of the paper's Figs. 5–11: metric
 // extractors, units, and the qualitative shape the paper reports.
 func PaperFigures() []Figure { return experiment.PaperFigures() }
+
+// AdversaryFigures returns the extension figures for adversary sweeps
+// (coalition interception ratio, union Pe, adversarial drops, delivery).
+func AdversaryFigures() []Figure { return experiment.AdversaryFigures() }
 
 // FigureByID looks up a figure definition ("fig5" … "fig11").
 func FigureByID(id string) (Figure, bool) { return experiment.FigureByID(id) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-smoke clean
+.PHONY: build test test-race vet bench bench-smoke sweep-demo clean
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,20 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/...
 
+# Demonstrate the content-addressed run cache (internal/runcache): the
+# first invocation simulates and fills the cache, the second serves every
+# cell from disk — asserted: the demo FAILS unless the second run reports
+# all 8 hits and 0 misses (guards the CLI cache wiring, not just the
+# engine, which TestSweepWarmCacheRunsNothing already covers).
+SWEEP_DEMO_FLAGS = -duration 8 -reps 2 -speeds 2,10 -protocols AODV,MTS -only fig9 -cache-dir .sweep-demo-cache
+sweep-demo:
+	rm -rf .sweep-demo-cache
+	$(GO) run ./cmd/experiments $(SWEEP_DEMO_FLAGS)
+	$(GO) run ./cmd/experiments $(SWEEP_DEMO_FLAGS) -resume 2>.sweep-demo-cache/stderr.log; \
+	  status=$$?; cat .sweep-demo-cache/stderr.log >&2; \
+	  [ $$status -eq 0 ] && grep -q '8 hits, 0 misses' .sweep-demo-cache/stderr.log
+	rm -rf .sweep-demo-cache
+
 clean:
 	$(GO) clean ./...
+	rm -rf .sweep-demo-cache

@@ -280,6 +280,98 @@ func BenchmarkRelatedWorkProtocols(b *testing.B) {
 	}
 }
 
+// --- sweep engine ---
+
+// sweepWallClockGrid is the reduced grid behind BenchmarkSweepWallClock:
+// 2 protocols × 2 speeds × 2 reps at 20 simulated seconds (8 runs).
+func sweepWallClockGrid(parallelism int, cache *RunCache) Sweep {
+	sw := PaperSweep(benchBase())
+	sw.Protocols = []string{"AODV", "MTS"}
+	sw.Speeds = []float64{2, 10}
+	sw.Reps = 2
+	sw.Parallelism = parallelism
+	sw.Cache = cache
+	return sw
+}
+
+// BenchmarkSweepWallClock measures end-to-end sweep latency through the
+// engine: cold (every cell simulated, cache being filled) vs warm (every
+// cell served from the content-addressed cache), serially and on the full
+// worker pool. The cold/warm ratio is the price of a repeated or resumed
+// sweep; see PERFORMANCE.md for recorded numbers.
+func BenchmarkSweepWallClock(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("cold/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cache, err := OpenRunCache(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := sweepWallClockGrid(mode.parallelism, cache).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.CacheHits != 0 {
+					b.Fatalf("cold sweep hit the cache %d times", res.CacheHits)
+				}
+			}
+		})
+		b.Run("warm/"+mode.name, func(b *testing.B) {
+			cache, err := OpenRunCache(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sweepWallClockGrid(mode.parallelism, cache).Run(); err != nil {
+				b.Fatal(err) // prime the cache
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sweepWallClockGrid(mode.parallelism, cache).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.CacheMisses != 0 {
+					b.Fatalf("warm sweep missed %d cells", res.CacheMisses)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunSetupReuse isolates the per-worker context reuse: the same
+// simulation through a fresh Build every time vs through one RunContext
+// that resets the scheduler/channel/grid scaffolding instead of
+// reallocating it. The allocs/op delta is the scaffolding being recycled.
+func BenchmarkRunSetupReuse(b *testing.B) {
+	cfg := benchBase()
+	cfg.Protocol = "MTS"
+	cfg.MaxSpeed = 10
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(i + 1)
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("context", func(b *testing.B) {
+		ctx := NewRunContext()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(i + 1)
+			if _, err := ctx.RunOne(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSimulatorEventRate measures the raw event-processing rate of
 // the full stack at increasing node counts. The 50-node case is the
 // paper's default scenario; the larger fields keep the same node density

@@ -19,6 +19,19 @@
 // eavesdropper; see internal/adversary):
 //
 //	experiments -only adversary -ks 1,2,4 -duration 30 -reps 2
+//
+// Cached and resumable sweeps (see internal/runcache): with -cache-dir,
+// every completed run is persisted under a content address of its full
+// configuration and seed, so re-running any sweep serves identical cells
+// from disk without simulating, and a killed sweep picks up where it left
+// off:
+//
+//	experiments -out results -cache-dir .mtsim-cache            # cold: simulates and fills the cache
+//	experiments -out results -cache-dir .mtsim-cache            # warm: zero simulations, identical output
+//	experiments -out results -cache-dir .mtsim-cache -resume    # same, stating the intent after an interruption
+//
+// The cache applies to the sweep artefacts (figures, adversary grids);
+// -only table1 and -only timeseries are single runs and always execute.
 package main
 
 import (
@@ -48,9 +61,19 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		advModels = flag.String("advmodels", "coalition,mobile,blackhole,grayhole",
 			"comma-separated adversary models for -only adversary")
-		advKs = flag.String("ks", "1,2,4", "comma-separated coalition sizes k for -only adversary")
+		advKs    = flag.String("ks", "1,2,4", "comma-separated coalition sizes k for -only adversary")
+		cacheDir = flag.String("cache-dir", "",
+			"content-addressed run cache directory: sweep cells already cached are served without simulating, newly computed cells are persisted (empty = no cache)")
+		noCache = flag.Bool("no-cache", false,
+			"bypass -cache-dir entirely: every cell is recomputed and nothing is read from or written to the cache")
+		resume = flag.Bool("resume", false,
+			"resume an interrupted sweep from -cache-dir (asserts a cache is in use; completed cells are never recomputed)")
 	)
 	flag.Parse()
+
+	if *resume && (*cacheDir == "" || *noCache) {
+		fail(fmt.Errorf("-resume needs -cache-dir (and is incompatible with -no-cache): resumption works by serving completed cells from the cache"))
+	}
 
 	base := mtsim.DefaultConfig()
 	base.Nodes = *nodes
@@ -101,6 +124,11 @@ func main() {
 	sweep.Parallelism = *parallel
 	sweep.Protocols = splitList(*protocols)
 	sweep.Speeds = parseSpeeds(*speeds)
+	if *cacheDir != "" && !*noCache {
+		cache, err := mtsim.OpenRunCache(*cacheDir)
+		fail(err)
+		sweep.Cache = cache
+	}
 
 	if *only == "adversary" {
 		// Threat-model axis: every requested model at every coalition
@@ -132,7 +160,19 @@ func main() {
 	res, err := sweep.Run()
 	fail(err)
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "\rsweep finished in %v\n\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(os.Stderr, "\rsweep finished in %v", time.Since(start).Round(time.Millisecond))
+		if sweep.Cache != nil {
+			fmt.Fprintf(os.Stderr, " — cache: %d hits, %d misses (%s)",
+				res.CacheHits, res.CacheMisses, *cacheDir)
+		}
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr)
+	}
+	if res.CachePutErrs > 0 {
+		// An error signal, not progress output: never silenced by -q. A
+		// sweep whose results failed to checkpoint will recompute them on
+		// resume.
+		fmt.Fprintf(os.Stderr, "warning: %d results could not be written to the cache\n", res.CachePutErrs)
 	}
 
 	if *only == "adversary" {

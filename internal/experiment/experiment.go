@@ -1,8 +1,26 @@
 // Package experiment runs the paper's evaluation: parameter sweeps over
-// protocol × MAXSPEED × adversary × repetition, executed on a worker pool
-// (one goroutine per independent simulation — the simulator itself is
-// single-threaded and deterministic), aggregated into the series behind
-// each figure and rendered as aligned text/CSV/markdown tables.
+// protocol × MAXSPEED × adversary × repetition, executed by a sweep engine
+// on a worker pool (one goroutine per independent simulation — the
+// simulator itself is single-threaded and deterministic), aggregated into
+// the series behind each figure and rendered as aligned text/CSV/markdown
+// tables.
+//
+// The engine is built for sweep-scale throughput:
+//
+//   - Each grid cell is looked up in an optional content-addressed result
+//     cache (internal/runcache) before dispatch and persisted after
+//     completion, so repeated sweeps skip identical cells and an
+//     interrupted sweep resumes from the completed runs on disk.
+//   - Each worker owns one reusable scenario.Context, so consecutive runs
+//     reset the expensive simulation scaffolding (scheduler heap, event
+//     pools, spatial grid, radios) instead of reallocating it.
+//   - The first simulation error cancels all outstanding work (with the
+//     failing cell named in the error) instead of silently finishing the
+//     rest of the grid.
+//   - With DiscardRuns set, every completed run is immediately distilled
+//     into per-figure streaming aggregates and the full RunMetrics are
+//     dropped on the spot, so a sweep's memory footprint is O(cells), not
+//     O(runs × nodes).
 package experiment
 
 import (
@@ -14,6 +32,7 @@ import (
 
 	"mtsim/internal/adversary"
 	"mtsim/internal/metrics"
+	"mtsim/internal/runcache"
 	"mtsim/internal/scenario"
 	"mtsim/internal/stats"
 )
@@ -32,9 +51,23 @@ type Sweep struct {
 	Adversaries []adversary.Spec
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
-	// OnRun, when set, is called after each completed run (progress
-	// reporting). It may be called from multiple goroutines and must be
-	// safe for concurrent use.
+	// Cache, when non-nil, short-circuits every grid cell whose result is
+	// already stored (the run is skipped entirely, its cached metrics are
+	// aggregated as if just computed) and persists every newly computed
+	// result. Because the store is content-addressed by the full
+	// configuration and seed, this doubles as checkpoint/restore: a killed
+	// sweep re-run with the same cache resumes after its completed cells.
+	Cache *runcache.Store
+	// DiscardRuns drops each RunMetrics once it has been distilled into
+	// the streaming per-figure aggregates (and, if enabled, the cache).
+	// Result.Runs stays empty; Table, CSV, AdversaryTable and
+	// AdversaryCSV keep working from the aggregates, but Mean, CI and
+	// Series with a custom metric extractor have nothing to consult. Use
+	// it for grids large enough that retaining every run matters.
+	DiscardRuns bool
+	// OnRun, when set, is called after each completed run — including
+	// cache hits — for progress reporting. It may be called from multiple
+	// goroutines and must be safe for concurrent use.
 	OnRun func(m *metrics.RunMetrics)
 }
 
@@ -59,10 +92,27 @@ type CellKey struct {
 	Adversary string
 }
 
-// Result holds every run of a sweep, indexed by cell.
+// Result holds the outcome of a sweep: every run indexed by cell (unless
+// the sweep discarded them) plus per-cell streaming aggregates of every
+// built-in figure metric, and the cache accounting.
 type Result struct {
 	Sweep Sweep
-	Runs  map[CellKey][]*metrics.RunMetrics
+	// Runs maps each cell to its repetitions, sorted by seed. Empty when
+	// Sweep.DiscardRuns distilled the runs into aggregates instead.
+	Runs map[CellKey][]*metrics.RunMetrics
+	// aggs holds one Welford accumulator per (cell, figure ID) for
+	// DiscardRuns sweeps (empty otherwise — retained runs serve the
+	// renderers directly), folded in seed order so the aggregates are
+	// bit-identical no matter in which order the parallel workers
+	// finished.
+	aggs map[CellKey]map[string]*stats.Welford
+	// CacheHits and CacheMisses count cells served from / missing in the
+	// sweep's cache (both 0 when no cache was attached). CachePutErrs
+	// counts results that ran fine but could not be persisted (the sweep
+	// itself is not failed for a sick cache).
+	CacheHits    int
+	CacheMisses  int
+	CachePutErrs int
 }
 
 // advAxis returns the effective adversary axis: the declared Adversaries,
@@ -87,26 +137,79 @@ func (s Sweep) advAxis() ([]adversary.Spec, []string) {
 	return s.Adversaries, labels
 }
 
+// allFigures returns every built-in figure definition; the engine distills
+// each completed run into one value per entry.
+func allFigures() []Figure {
+	return append(PaperFigures(), AdversaryFigures()...)
+}
+
+// runRecord is the distilled form of one completed run: just its seed (the
+// deterministic fold order) and one value per built-in figure.
+type runRecord struct {
+	seed int64
+	vals []float64
+}
+
 // Run executes the sweep. Repetition r uses seed SeedBase+r for every
 // protocol, speed and adversary, pairing the comparisons: identical
 // mobility and traffic endpoints across protocols and threat models.
+//
+// Cells present in Sweep.Cache are served without simulating; the rest are
+// dispatched to a worker pool where each worker reuses one
+// scenario.Context across its runs. The first error cancels all
+// outstanding jobs and is returned with its cell attribution.
 func (s Sweep) Run() (*Result, error) {
 	type job struct {
-		key  CellKey
-		adv  adversary.Spec
-		seed int64
+		key CellKey
+		cfg scenario.Config
 	}
 	specs, labels := s.advAxis()
+	figs := allFigures()
+	res := &Result{
+		Sweep: s,
+		Runs:  make(map[CellKey][]*metrics.RunMetrics),
+		aggs:  make(map[CellKey]map[string]*stats.Welford),
+	}
+	recs := make(map[CellKey][]runRecord)
+	record := func(key CellKey, m *metrics.RunMetrics) {
+		if !s.DiscardRuns {
+			// Retained runs serve the renderers directly; distilling would
+			// be dead weight.
+			res.Runs[key] = append(res.Runs[key], m)
+			return
+		}
+		rec := runRecord{seed: m.Seed, vals: make([]float64, len(figs))}
+		for i := range figs {
+			rec.vals[i] = figs[i].Metric(m)
+		}
+		recs[key] = append(recs[key], rec)
+	}
+
+	// Enumerate the grid, serving cache hits inline and collecting the
+	// cells that actually need simulating.
 	var jobs []job
 	for _, p := range s.Protocols {
 		for _, v := range s.Speeds {
 			for a := range specs {
 				for r := 0; r < s.Reps; r++ {
-					jobs = append(jobs, job{
-						key:  CellKey{Protocol: p, Speed: v, Adversary: labels[a]},
-						adv:  specs[a],
-						seed: s.SeedBase + int64(r),
-					})
+					cfg := s.Base
+					cfg.Protocol = p
+					cfg.MaxSpeed = v
+					cfg.Adversary = specs[a]
+					cfg.Seed = s.SeedBase + int64(r)
+					key := CellKey{Protocol: p, Speed: v, Adversary: labels[a]}
+					if s.Cache != nil {
+						if m, ok := s.Cache.Get(cfg); ok {
+							res.CacheHits++
+							record(key, m)
+							if s.OnRun != nil {
+								s.OnRun(m)
+							}
+							continue
+						}
+						res.CacheMisses++
+					}
+					jobs = append(jobs, job{key: key, cfg: cfg})
 				}
 			}
 		}
@@ -120,40 +223,65 @@ func (s Sweep) Run() (*Result, error) {
 		workers = len(jobs)
 	}
 
-	res := &Result{Sweep: s, Runs: make(map[CellKey][]*metrics.RunMetrics)}
-	var mu sync.Mutex
-	var firstErr error
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	done := make(chan struct{})
+	var abortOnce sync.Once
+	abort := func() { abortOnce.Do(func() { close(done) }) }
 	jobCh := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable simulation context per worker: consecutive runs
+			// reset the scheduler/channel/collector instead of reallocating
+			// them (bit-identical results; see scenario.Context).
+			ctx := scenario.NewContext()
 			for j := range jobCh {
-				cfg := s.Base
-				cfg.Protocol = j.key.Protocol
-				cfg.MaxSpeed = j.key.Speed
-				cfg.Adversary = j.adv
-				cfg.Seed = j.seed
-				m, err := scenario.RunOne(cfg)
-				mu.Lock()
+				select {
+				case <-done:
+					continue // sweep aborted: drain without simulating
+				default:
+				}
+				m, err := ctx.RunOne(j.cfg)
 				if err != nil {
+					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("%s speed=%g adversary=%q seed=%d: %w",
-							j.key.Protocol, j.key.Speed, j.key.Adversary, j.seed, err)
+							j.key.Protocol, j.key.Speed, j.key.Adversary, j.cfg.Seed, err)
 					}
-				} else {
-					res.Runs[j.key] = append(res.Runs[j.key], m)
+					mu.Unlock()
+					abort()
+					continue
 				}
+				if s.Cache != nil {
+					if err := s.Cache.Put(j.cfg, m); err != nil {
+						mu.Lock()
+						res.CachePutErrs++
+						mu.Unlock()
+					}
+				}
+				mu.Lock()
+				record(j.key, m)
 				mu.Unlock()
-				if err == nil && s.OnRun != nil {
+				if s.OnRun != nil {
 					s.OnRun(m)
 				}
 			}
 		}()
 	}
+	// Feed until done: an abort stops the feeder, so outstanding jobs are
+	// cancelled instead of the grid silently running to completion.
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()
@@ -161,19 +289,34 @@ func (s Sweep) Run() (*Result, error) {
 		return nil, firstErr
 	}
 	// Deterministic ordering inside each cell regardless of completion
-	// order.
+	// order: runs sorted by seed, aggregates folded in seed order.
 	for _, runs := range res.Runs {
 		sort.Slice(runs, func(i, j int) bool { return runs[i].Seed < runs[j].Seed })
+	}
+	for key, rs := range recs {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].seed < rs[j].seed })
+		agg := make(map[string]*stats.Welford, len(figs))
+		for i := range figs {
+			w := &stats.Welford{}
+			for _, rec := range rs {
+				w.Add(rec.vals[i])
+			}
+			agg[figs[i].ID] = w
+		}
+		res.aggs[key] = agg
 	}
 	return res, nil
 }
 
-// Mean returns the mean of metric over a cell's repetitions.
+// Mean returns the mean of metric over a cell's repetitions. It consults
+// the retained runs, so it reports 0 after a DiscardRuns sweep — use the
+// figure-based renderers (Table, CSV, FigMean) there.
 func (r *Result) Mean(key CellKey, metric func(*metrics.RunMetrics) float64) float64 {
 	return stats.Mean(r.values(key, metric))
 }
 
-// CI returns the 95% confidence half-width of metric over a cell.
+// CI returns the 95% confidence half-width of metric over a cell (0 after
+// a DiscardRuns sweep, like Mean).
 func (r *Result) CI(key CellKey, metric func(*metrics.RunMetrics) float64) float64 {
 	return stats.CI95(r.values(key, metric))
 }
@@ -187,16 +330,50 @@ func (r *Result) values(key CellKey, metric func(*metrics.RunMetrics) float64) [
 	return out
 }
 
-// defaultAdversary returns the Adversary label figure tables aggregate
-// over: blank for a plain paper sweep, otherwise the first axis entry.
-func (r *Result) defaultAdversary() string {
-	if len(r.Sweep.Adversaries) == 0 {
-		return ""
+// FigMean and FigCI report one built-in figure's aggregate for a cell from
+// the streaming accumulators, which survive DiscardRuns.
+func (r *Result) FigMean(key CellKey, fig Figure) float64 {
+	m, _ := r.figMeanCI(key, fig)
+	return m
+}
+
+// FigCI is the 95% confidence half-width companion of FigMean.
+func (r *Result) FigCI(key CellKey, fig Figure) float64 {
+	_, ci := r.figMeanCI(key, fig)
+	return ci
+}
+
+// figMeanCI serves the table renderers: the retained runs when the sweep
+// kept them — fig.Metric is always honoured there, even for a
+// caller-customised Figure that reuses a built-in ID — and the per-figure
+// streaming aggregate (keyed by fig.ID, built-in figures only) after a
+// DiscardRuns sweep.
+func (r *Result) figMeanCI(key CellKey, fig Figure) (mean, ci float64) {
+	if runs := r.Runs[key]; len(runs) > 0 {
+		vals := r.values(key, fig.Metric)
+		return stats.Mean(vals), stats.CI95(vals)
 	}
-	return r.Sweep.Adversaries[0].Label()
+	if agg := r.aggs[key]; agg != nil {
+		if w, ok := agg[fig.ID]; ok {
+			return w.Mean(), w.CI95()
+		}
+	}
+	return 0, 0
+}
+
+// defaultAdversary returns the Adversary label figure tables aggregate
+// over: blank for a plain paper sweep, otherwise the first axis entry's
+// label. It must come from advAxis — the single place labels are derived,
+// collision suffixes included — or tables could aggregate a cell key that
+// was never produced.
+func (r *Result) defaultAdversary() string {
+	_, labels := r.Sweep.advAxis()
+	return labels[0]
 }
 
 // Series returns the per-speed means for one protocol, in Speeds order.
+// Like Mean, it needs retained runs (custom extractors cannot be served
+// from the per-figure aggregates).
 func (r *Result) Series(proto string, metric func(*metrics.RunMetrics) float64) []float64 {
 	out := make([]float64, 0, len(r.Sweep.Speeds))
 	for _, v := range r.Sweep.Speeds {
@@ -223,7 +400,8 @@ func (r *Result) Table(fig Figure) string {
 		fmt.Fprintf(&b, "%-14g", v)
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary()}
-			fmt.Fprintf(&b, "%13.4f ±%5.3f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+			mean, ci := r.figMeanCI(key, fig)
+			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
 		}
 		b.WriteString("\n")
 	}
@@ -243,7 +421,8 @@ func (r *Result) CSV(fig Figure) string {
 		fmt.Fprintf(&b, "%g", v)
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary()}
-			fmt.Fprintf(&b, ",%.6f,%.6f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+			mean, ci := r.figMeanCI(key, fig)
+			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
 		}
 		b.WriteString("\n")
 	}
@@ -271,7 +450,8 @@ func (r *Result) AdversaryTable(fig Figure, speed float64) string {
 		fmt.Fprintf(&b, "%-18s", labels[i])
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i]}
-			fmt.Fprintf(&b, "%13.4f ±%5.3f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+			mean, ci := r.figMeanCI(key, fig)
+			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
 		}
 		b.WriteString("\n")
 	}
@@ -292,7 +472,8 @@ func (r *Result) AdversaryCSV(fig Figure, speed float64) string {
 		b.WriteString(labels[i])
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i]}
-			fmt.Fprintf(&b, ",%.6f,%.6f", r.Mean(key, fig.Metric), r.CI(key, fig.Metric))
+			mean, ci := r.figMeanCI(key, fig)
+			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
 		}
 		b.WriteString("\n")
 	}

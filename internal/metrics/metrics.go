@@ -49,6 +49,15 @@ func NewCollector() *Collector {
 	}
 }
 
+// Reset empties the collector for reuse by the next simulation run,
+// keeping the map storage. Equivalent to NewCollector for every observer.
+func (c *Collector) Reset() {
+	clear(c.relays)
+	clear(c.drops)
+	c.controlTx = 0
+	c.dataTx = 0
+}
+
 // Relay records that node relayed one data packet (β_i increment).
 func (c *Collector) Relay(node packet.NodeID) { c.relays[node]++ }
 

@@ -169,11 +169,13 @@ type Channel struct {
 
 	// Spatial index over radio position snapshots.
 	grid        *geo.Grid
-	scratch     []int32  // reusable WithinRange buffer
-	movers      []*Radio // radios whose snapshots go stale (maxSpeed > 0)
-	policyDirty bool     // movers/epoch need recomputation
-	slackBudget float64  // max tolerated snapshot drift, metres
-	slack       float64  // current query-radius inflation
+	spareGrid   *geo.Grid // previous run's grid, reusable by EnableGrid
+	scratch     []int32   // reusable WithinRange buffer
+	spare       []*Radio  // recycled Radio structs (Reset → Attach)
+	movers      []*Radio  // radios whose snapshots go stale (maxSpeed > 0)
+	policyDirty bool      // movers/epoch need recomputation
+	slackBudget float64   // max tolerated snapshot drift, metres
+	slack       float64   // current query-radius inflation
 	epoch       sim.Duration
 	nextRefresh sim.Time
 	exact       bool // refresh every transmit (some radio has unknown speed)
@@ -207,6 +209,46 @@ func NewChannel(sched *sim.Scheduler, rxRange, csRange float64) *Channel {
 	}
 }
 
+// Reset detaches every radio and restores the channel to its
+// NewChannel(sched, rxRange, csRange) state while keeping the expensive
+// reusable storage: the spatial grid (reused when the next EnableGrid asks
+// for the same geometry), the receiver scratch buffer, the arrival and
+// reception pools, and the Radio structs themselves (recycled through the
+// next Attach calls). A reset channel behaves bit-for-bit like a fresh one;
+// it exists so batch executors (scenario.Context) can run thousands of
+// simulations without rebuilding the medium each time.
+func (c *Channel) Reset(rxRange, csRange float64) {
+	if csRange < rxRange {
+		csRange = rxRange
+	}
+	c.RxRange = rxRange
+	c.CSRange = csRange
+	c.PropSpeed = defaultPropSpeed
+	c.DropFrame = nil
+	if c.grid != nil {
+		// Park the index: it must not be consulted while it still holds the
+		// previous run's snapshots, but EnableGrid can reclaim its storage.
+		c.spareGrid, c.grid = c.grid, nil
+	}
+	for i, r := range c.radios {
+		*r = Radio{}
+		c.spare = append(c.spare, r)
+		c.radios[i] = nil
+	}
+	c.radios = c.radios[:0]
+	for i := range c.movers {
+		c.movers[i] = nil
+	}
+	c.movers = c.movers[:0]
+	c.policyDirty = true
+	c.slackBudget = 0
+	c.slack = 0
+	c.epoch = 0
+	c.nextRefresh = 0
+	c.exact = false
+	c.linear = false
+}
+
 // EnableGrid builds the receiver-lookup index over the given field. Call it
 // before attaching radios (scenario builders) for a well-sized grid;
 // channels that never call it self-configure from the radios' positions at
@@ -221,7 +263,14 @@ func (c *Channel) EnableGrid(bounds geo.Rect, cellSize float64) {
 		// will ever be in range); any positive cell size works.
 		cellSize = 1
 	}
-	c.grid = geo.NewGrid(bounds, cellSize)
+	switch {
+	case c.grid != nil && c.grid.Reset(bounds, cellSize):
+		// Re-index in place below.
+	case c.spareGrid != nil && c.spareGrid.Reset(bounds, cellSize):
+		c.grid, c.spareGrid = c.spareGrid, nil
+	default:
+		c.grid = geo.NewGrid(bounds, cellSize)
+	}
 	now := c.sched.Now()
 	for _, r := range c.radios {
 		c.grid.Update(r.idx, r.positionAt(now))
@@ -239,7 +288,15 @@ func (c *Channel) UseLinearScan(on bool) { c.linear = on }
 // pos. The listener (the node's MAC) must be set before any transmission
 // can reach the radio.
 func (c *Channel) Attach(id packet.NodeID, pos func(sim.Time) geo.Point, lis Listener) *Radio {
-	r := &Radio{
+	var r *Radio
+	if n := len(c.spare); n > 0 {
+		r = c.spare[n-1]
+		c.spare[n-1] = nil
+		c.spare = c.spare[:n-1]
+	} else {
+		r = &Radio{}
+	}
+	*r = Radio{
 		ID:       id,
 		pos:      pos,
 		lis:      lis,

@@ -1,0 +1,293 @@
+// Package runcache is a content-addressed on-disk cache of simulation
+// results, keyed by a canonical hash of the complete scenario.Config
+// (which includes the seed) plus a code-version salt. The simulator is
+// deterministic — identical configuration and seed always produce
+// identical RunMetrics — so a cached result is not an approximation of a
+// re-run, it IS the re-run. The experiment engine consults the cache
+// before dispatching each sweep cell, which makes repeated sweeps nearly
+// free and turns every completed run into a checkpoint: a killed sweep
+// re-invoked with the same cache directory resumes from what is on disk.
+//
+// # Keying
+//
+// The key is SHA-256 over a canonical byte encoding of the configuration,
+// produced by reflection over scenario.Config: every field — nested
+// structs, slices, numeric and string leaves — is folded into the hash
+// tagged with its path, so two configs hash equally iff they are equal
+// field-for-field. Because the walk is reflective, a newly added Config
+// field is automatically part of the key; there is no hand-maintained
+// field list to forget to update (the field-sensitivity test in this
+// package proves every field perturbs the hash). Fields of a kind the
+// encoder does not understand (funcs, maps, channels, pointers) make Key
+// fail loudly rather than silently dropping out of the key.
+//
+// SchemaVersion salts every key. Bump it whenever simulator behaviour
+// changes (golden fixtures move), and every stale cache entry misses.
+//
+// # Layout
+//
+// Entries live at <dir>/<kk>/<key>.json, where kk is the first two hex
+// digits of the key (a fan-out shard keeping directories small). Each
+// entry is a JSON document carrying the schema version, the GOARCH it was
+// produced on (float metrics are only bit-stable per architecture, exactly
+// like the golden fixtures), the key, and the RunMetrics in the same
+// encoding the golden fixtures use. Entries are written atomically
+// (temp file + rename), so a sweep killed mid-write never leaves a
+// half-entry behind — at worst the cell is recomputed.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+
+	"mtsim/internal/metrics"
+	"mtsim/internal/scenario"
+)
+
+// SchemaVersion is the code-version salt folded into every key. Bump it
+// whenever a change alters simulation behaviour (the same commit that
+// regenerates the golden fixtures), so stale entries can never be served.
+const SchemaVersion = "mtsim-run/v1"
+
+// Key returns the content address of a configuration: hex SHA-256 over
+// SchemaVersion plus the canonical encoding of every field of cfg
+// (the seed included). It errors on configurations containing fields the
+// canonical encoder cannot represent.
+func Key(cfg scenario.Config) (string, error) {
+	return KeySalted(cfg, SchemaVersion)
+}
+
+// KeySalted is Key under a caller-chosen version salt (tests; parallel
+// cache namespaces).
+func KeySalted(cfg scenario.Config, salt string) (string, error) {
+	h := sha256.New()
+	writeString(h, salt)
+	if err := hashValue(h, reflect.ValueOf(cfg), "Config"); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func writeString(h hash.Hash, s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+func writeUint64(h hash.Hash, v uint64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	h.Write(n[:])
+}
+
+// hashValue folds one value into the hash, tagged with its field path and
+// kind so no two distinct configurations share an encoding.
+func hashValue(h hash.Hash, v reflect.Value, path string) error {
+	writeString(h, path)
+	writeUint64(h, uint64(v.Kind()))
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			writeUint64(h, 1)
+		} else {
+			writeUint64(h, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		writeUint64(h, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		writeUint64(h, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		writeUint64(h, math.Float64bits(v.Float()))
+	case reflect.String:
+		writeString(h, v.String())
+	case reflect.Slice, reflect.Array:
+		writeUint64(h, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := hashValue(h, v.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		t := v.Type()
+		writeUint64(h, uint64(t.NumField()))
+		for i := 0; i < t.NumField(); i++ {
+			if err := hashValue(h, v.Field(i), path+"."+t.Field(i).Name); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("runcache: cannot canonically encode %s (kind %s) — "+
+			"extend the encoder before adding such fields to scenario.Config", path, v.Kind())
+	}
+	return nil
+}
+
+// entry is the on-disk document. Metrics reuse the golden-fixture JSON
+// encoding of metrics.RunMetrics; Schema/GOARCH/Key gate staleness.
+type entry struct {
+	Schema   string              `json:"schema"`
+	GOARCH   string              `json:"goarch"`
+	Key      string              `json:"key"`
+	Protocol string              `json:"protocol"`
+	Seed     int64               `json:"seed"`
+	Metrics  *metrics.RunMetrics `json:"metrics"`
+}
+
+// Store is a cache rooted at one directory. All methods are safe for
+// concurrent use by the sweep's worker goroutines: entries are immutable
+// once written, and writes are atomic renames.
+type Store struct {
+	dir  string
+	salt string
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Store, error) {
+	return OpenSalted(dir, SchemaVersion)
+}
+
+// OpenSalted opens a cache whose keys use the given version salt.
+func OpenSalted(dir, salt string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	s := &Store{dir: dir, salt: salt}
+	s.sweepOrphans()
+	return s, nil
+}
+
+// sweepOrphans removes temp files left behind by sweeps killed mid-Put
+// (the designed resume workflow), so repeated kill/resume cycles cannot
+// litter the shards unboundedly. Any .tmp file predating this Open is
+// dead by construction. In the rare cross-process race — another process
+// mid-Put while we open the same cache — removing its temp file merely
+// fails that one Put (counted, non-fatal), never corrupts an entry.
+func (s *Store) sweepOrphans() {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if !f.IsDir() && strings.Contains(f.Name(), ".tmp") {
+				os.Remove(filepath.Join(s.dir, sh.Name(), f.Name()))
+			}
+		}
+	}
+}
+
+// Dir returns the cache's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the cached metrics for cfg, or (nil, false) on any miss:
+// absent entry, unreadable or corrupt file, schema or architecture
+// mismatch. A miss is never an error — the caller recomputes.
+func (s *Store) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
+	key, err := KeySalted(cfg, s.salt)
+	if err != nil {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != s.salt || e.GOARCH != runtime.GOARCH || e.Key != key || e.Metrics == nil {
+		return nil, false
+	}
+	return e.Metrics, true
+}
+
+// Put stores the metrics of one completed run under cfg's key. The write
+// is atomic (temp file + rename into place), so concurrent writers of the
+// same key and sweeps killed mid-write both leave a valid store.
+func (s *Store) Put(cfg scenario.Config, m *metrics.RunMetrics) error {
+	key, err := KeySalted(cfg, s.salt)
+	if err != nil {
+		return err
+	}
+	doc, err := json.MarshalIndent(entry{
+		Schema:   s.salt,
+		GOARCH:   runtime.GOARCH,
+		Key:      key,
+		Protocol: cfg.Protocol,
+		Seed:     cfg.Seed,
+		Metrics:  m,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	doc = append(doc, '\n')
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(doc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of entries on disk (tests, status lines). It
+// walks the shard directories; cost is proportional to the cache size.
+func (s *Store) Len() int {
+	n := 0
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if filepath.Ext(f.Name()) == ".json" {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,281 @@
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mtsim/internal/geo"
+	"mtsim/internal/scenario"
+	"mtsim/internal/sim"
+)
+
+func quickConfig() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Nodes = 12
+	cfg.Duration = 3 * sim.Second
+	cfg.TCPStart = sim.Time(sim.Second)
+	cfg.Seed = 11
+	return cfg
+}
+
+func TestKeyDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := quickConfig()
+	k1, err := Key(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not hex sha256", k1)
+	}
+	cfg.Seed++
+	k3, _ := Key(cfg)
+	if k3 == k1 {
+		t.Fatal("seed change did not change the key")
+	}
+	// The salt is part of the address: a behaviour-version bump must miss.
+	k4, _ := KeySalted(quickConfig(), "mtsim-run/v999")
+	if k4 == k1 {
+		t.Fatal("salt change did not change the key")
+	}
+}
+
+// mutate perturbs one leaf value in place and returns a human label, or ""
+// if the kind is not a leaf (struct — recursed elsewhere).
+func mutate(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+	case reflect.String:
+		v.SetString(v.String() + "~mut")
+	case reflect.Slice:
+		// Appending one zero element changes the encoded length.
+		v.Set(reflect.Append(v, reflect.New(v.Type().Elem()).Elem()))
+	default:
+		return false
+	}
+	return true
+}
+
+// leafPaths recursively enumerates every mutatable leaf of a struct value.
+func leafPaths(v reflect.Value, path string, out *[]string) {
+	if v.Kind() == reflect.Struct {
+		for i := 0; i < v.NumField(); i++ {
+			leafPaths(v.Field(i), path+"."+v.Type().Field(i).Name, out)
+		}
+		return
+	}
+	*out = append(*out, path)
+}
+
+// mutateAt walks to the leaf at the given dotted path and perturbs it.
+func mutateAt(root reflect.Value, path string) bool {
+	v := root
+	for _, part := range strings.Split(path, ".")[1:] {
+		v = v.FieldByName(part)
+	}
+	return mutate(v)
+}
+
+// TestEveryConfigFieldChangesKey is the exhaustive field-sensitivity
+// guarantee: perturbing ANY leaf field of scenario.Config — including
+// every nested protocol/MAC/TCP/adversary knob, present and future —
+// must change the content address. Because the leaf enumeration is itself
+// reflective, a newly added field shows up here automatically; if the
+// canonical encoder cannot represent it, Key errors and this test fails,
+// so no field can ever be silently omitted from the cache key.
+func TestEveryConfigFieldChangesKey(t *testing.T) {
+	base := quickConfig()
+	baseKey, err := Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var paths []string
+	leafPaths(reflect.ValueOf(base), "Config", &paths)
+	if len(paths) < 40 {
+		t.Fatalf("only %d leaves enumerated — reflection walk is broken", len(paths))
+	}
+
+	for _, path := range paths {
+		cfg := quickConfig()
+		if !mutateAt(reflect.ValueOf(&cfg).Elem(), path) {
+			t.Fatalf("leaf %s has a kind the test cannot mutate — extend mutate()", path)
+		}
+		k, err := Key(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if k == baseKey {
+			t.Errorf("mutating %s did not change the key — field omitted from hash", path)
+		}
+	}
+}
+
+func TestSliceContentSensitivity(t *testing.T) {
+	// Beyond length: element values must be keyed too.
+	a := quickConfig()
+	a.Flows = []scenario.FlowSpec{{Src: 0, Dst: 1}}
+	b := quickConfig()
+	b.Flows = []scenario.FlowSpec{{Src: 0, Dst: 2}}
+	ka, _ := Key(a)
+	kb, _ := Key(b)
+	if ka == kb {
+		t.Fatal("flow endpoints not keyed")
+	}
+	c := quickConfig()
+	c.Placement = []geo.Point{{X: 1, Y: 2}}
+	d := quickConfig()
+	d.Placement = []geo.Point{{X: 1, Y: 3}}
+	kc, _ := Key(c)
+	kd, _ := Key(d)
+	if kc == kd {
+		t.Fatal("placement coordinates not keyed")
+	}
+}
+
+// TestCachedMetricsByteIdentical is the cache-correctness contract: what
+// comes back from the store must be byte-for-byte the metrics a fresh run
+// produces, across every protocol (floats, maps, nested slices included).
+func TestCachedMetricsByteIdentical(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range scenario.AllProtocols() {
+		cfg := quickConfig()
+		cfg.Protocol = proto
+		fresh, err := scenario.RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := store.Get(cfg); ok {
+			t.Fatalf("%s: phantom hit on empty cache", proto)
+		}
+		if err := store.Put(cfg, fresh); err != nil {
+			t.Fatal(err)
+		}
+		cached, ok := store.Get(cfg)
+		if !ok {
+			t.Fatalf("%s: miss after put", proto)
+		}
+		want, _ := json.Marshal(fresh)
+		got, _ := json.Marshal(cached)
+		if string(want) != string(got) {
+			t.Fatalf("%s: cached metrics not byte-identical\nfresh:  %s\ncached: %s",
+				proto, want, got)
+		}
+	}
+	if store.Len() != len(scenario.AllProtocols()) {
+		t.Fatalf("store holds %d entries, want %d", store.Len(), len(scenario.AllProtocols()))
+	}
+}
+
+func TestCorruptAndMismatchedEntriesMiss(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Protocol = "MTS"
+	m, err := scenario.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(cfg)
+	path := filepath.Join(dir, key[:2], key+".json")
+
+	// Truncated JSON: must miss, not error.
+	if err := os.WriteFile(path, []byte("{\"schema\": \"mts"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(cfg); ok {
+		t.Fatal("corrupt entry served as hit")
+	}
+
+	// Entry from a different schema version: must miss.
+	other, err := OpenSalted(dir, "mtsim-run/v0-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Put(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	// other's Put landed under other's key, so store still misses...
+	if _, ok := store.Get(cfg); ok {
+		t.Fatal("cross-salt hit")
+	}
+	// ...and even a doc claiming store's path but the wrong schema misses.
+	if err := store.Put(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(raw), SchemaVersion, "mtsim-run/v0-old", 1)
+	if err := os.WriteFile(path, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(cfg); ok {
+		t.Fatal("schema-mismatched entry served as hit")
+	}
+}
+
+func TestUnsupportedFieldKindFailsLoudly(t *testing.T) {
+	// The encoder must reject kinds it cannot canonically represent
+	// instead of skipping them (a skipped field would silently alias
+	// distinct configurations to one cache entry).
+	type bad struct{ M map[string]int }
+	h := reflect.ValueOf(bad{M: map[string]int{"x": 1}})
+	err := hashValue(sha256.New(), h, "bad")
+	if err == nil || !strings.Contains(err.Error(), "cannot canonically encode") {
+		t.Fatalf("map field: err = %v", err)
+	}
+}
+
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(shard, "abcdef.tmp123")
+	if err := os.WriteFile(orphan, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(shard, "abcdef.json")
+	if err := os.WriteFile(keep, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived Open")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatal("real entry removed by orphan sweep")
+	}
+}

@@ -50,9 +50,14 @@ func goldenConfig(proto string) Config {
 // regression harness behind the adversary refactor's bit-compatibility
 // guarantee.
 func TestGoldenMetrics(t *testing.T) {
+	// One shared context across all protocols: the fixtures must hold
+	// through the sweep engine's per-worker scaffolding reuse, not just
+	// through fresh builds (RunOne is checked against the context path in
+	// context_test.go).
+	ctx := NewContext()
 	for _, proto := range AllProtocols() {
 		t.Run(proto, func(t *testing.T) {
-			m, err := RunOne(goldenConfig(proto))
+			m, err := ctx.RunOne(goldenConfig(proto))
 			if err != nil {
 				t.Fatal(err)
 			}

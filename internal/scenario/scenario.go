@@ -122,14 +122,14 @@ func DefaultConfig() Config {
 
 // Scenario is a built simulation ready to run.
 type Scenario struct {
-	Cfg       Config
-	Sched     *sim.Scheduler
-	Channel   *phy.Channel
-	Nodes     []*node.Node
-	Flows     []FlowSpec
-	Senders   []*tcp.Sender
-	CBRs      []*app.CBR
-	Sinks     []*tcp.Sink
+	Cfg     Config
+	Sched   *sim.Scheduler
+	Channel *phy.Channel
+	Nodes   []*node.Node
+	Flows   []FlowSpec
+	Senders []*tcp.Sender
+	CBRs    []*app.CBR
+	Sinks   []*tcp.Sink
 	// Adversary is the attached threat model; Eaves is the legacy
 	// single-tap view of it (the first coalition member), nil for models
 	// that are not eavesdropper coalitions.
@@ -138,8 +138,67 @@ type Scenario struct {
 	Collector *metrics.Collector
 }
 
+// Context is a reusable bundle of the expensive per-run simulation
+// scaffolding: the event scheduler (heap storage and pooled task events),
+// the radio channel (spatial grid, Radio structs, arrival/reception pools)
+// and the metrics collector. A fresh Build allocates all of it from
+// scratch; Context.Build resets and reuses it instead, which is what lets
+// a sweep worker run thousands of consecutive simulations without
+// re-growing megabytes of scaffolding each time.
+//
+// Reuse changes allocation only, never behaviour: a scenario built through
+// a Context is bit-for-bit identical to one built fresh (the golden-metric
+// fixtures are verified through both paths). A Context serves one run at a
+// time — building the next scenario invalidates the previous one, so keep
+// only the returned RunMetrics (which are standalone copies). Not safe for
+// concurrent use; give each worker goroutine its own Context.
+type Context struct {
+	sched     *sim.Scheduler
+	ch        *phy.Channel
+	collector *metrics.Collector
+	nodes     []*node.Node
+	rngs      sim.RNGRecycler
+}
+
+// NewContext returns an empty context; the first Build populates it.
+func NewContext() *Context { return &Context{} }
+
+// prepare hands out the context's scheduler, channel and collector, reset
+// to their freshly-constructed state.
+func (ctx *Context) prepare(rxRange, csRange float64) (*sim.Scheduler, *phy.Channel, *metrics.Collector) {
+	if ctx.sched == nil {
+		ctx.sched = sim.NewScheduler()
+		ctx.ch = phy.NewChannel(ctx.sched, rxRange, csRange)
+		ctx.collector = metrics.NewCollector()
+	} else {
+		ctx.sched.Reset()
+		ctx.ch.Reset(rxRange, csRange)
+		ctx.collector.Reset()
+	}
+	// The previous run is dead by contract, so its RNG sources (~5 KiB of
+	// math/rand state each, well over a hundred per scenario) re-seed for
+	// this one.
+	ctx.rngs.Recycle()
+	return ctx.sched, ctx.ch, ctx.collector
+}
+
+// Build wires a scenario reusing the context's scaffolding. The previous
+// scenario built from this context becomes invalid.
+func (ctx *Context) Build(cfg Config) (*Scenario, error) { return build(ctx, cfg) }
+
+// RunOne builds and runs one configuration on the reused scaffolding.
+func (ctx *Context) RunOne(cfg Config) (*metrics.RunMetrics, error) {
+	s, err := ctx.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
 // Build wires a scenario from the configuration.
-func Build(cfg Config) (*Scenario, error) {
+func Build(cfg Config) (*Scenario, error) { return build(nil, cfg) }
+
+func build(ctx *Context, cfg Config) (*Scenario, error) {
 	n := cfg.Nodes
 	if cfg.Placement != nil {
 		n = len(cfg.Placement)
@@ -153,12 +212,15 @@ func Build(cfg Config) (*Scenario, error) {
 		return nil, fmt.Errorf("scenario: unknown protocol %q", cfg.Protocol)
 	}
 
-	s := &Scenario{
-		Cfg:       cfg,
-		Sched:     sim.NewScheduler(),
-		Collector: metrics.NewCollector(),
+	s := &Scenario{Cfg: cfg}
+	if ctx != nil {
+		s.Sched, s.Channel, s.Collector = ctx.prepare(cfg.RxRange, cfg.CSRange)
+		s.Nodes = ctx.nodes[:0]
+	} else {
+		s.Sched = sim.NewScheduler()
+		s.Collector = metrics.NewCollector()
+		s.Channel = phy.NewChannel(s.Sched, cfg.RxRange, cfg.CSRange)
 	}
-	s.Channel = phy.NewChannel(s.Sched, cfg.RxRange, cfg.CSRange)
 	// Receiver lookup is grid-indexed; size the index to the mobility field
 	// (grown to cover any pinned placements outside it) before radios attach.
 	bounds := cfg.Field
@@ -169,7 +231,12 @@ func Build(cfg Config) (*Scenario, error) {
 		bounds.MaxY = math.Max(bounds.MaxY, p.Y)
 	}
 	s.Channel.EnableGrid(bounds, 0)
-	master := sim.NewRNG(cfg.Seed)
+	var master *sim.RNG
+	if ctx != nil {
+		master = ctx.rngs.New(cfg.Seed) // derived streams recycle too
+	} else {
+		master = sim.NewRNG(cfg.Seed)
+	}
 	uids := &packet.UIDSource{}
 
 	for i := 0; i < n; i++ {
@@ -352,6 +419,17 @@ func Build(cfg Config) (*Scenario, error) {
 		s.Eaves = c.Legacy()
 	}
 
+	if ctx != nil {
+		// Hand the (possibly re-grown) node backing array back for the next
+		// build; the Node structs themselves are per-run. Clear the slack
+		// beyond this run's length so a smaller run does not pin a larger
+		// previous run's node graphs for the context's lifetime.
+		ctx.nodes = s.Nodes
+		tail := ctx.nodes[len(ctx.nodes):cap(ctx.nodes)]
+		for i := range tail {
+			tail[i] = nil
+		}
+	}
 	for _, nd := range s.Nodes {
 		nd.Start()
 	}

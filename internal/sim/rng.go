@@ -33,7 +33,8 @@ func DeriveSeed(master int64, label string) int64 {
 // simulator needs. It wraps math/rand with an explicit source so that runs
 // are reproducible from the configuration seed alone.
 type RNG struct {
-	r *rand.Rand
+	r   *rand.Rand
+	rec *RNGRecycler // nil for standalone streams
 }
 
 // NewRNG returns a stream seeded with the given seed.
@@ -41,9 +42,56 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
-// Derive returns a new independent stream labelled relative to this one.
+// RNGRecycler hands out RNGs whose underlying math/rand source — a ~5 KiB
+// lagged-Fibonacci state — is recycled across simulation runs: re-seeding
+// a recycled source yields exactly the stream a fresh source would, so
+// reuse is observationally free. A scenario builds well over a hundred
+// derived streams (per-node mobility, node, MAC, ...), which makes this
+// one of the larger recyclable setup costs in a sweep (scenario.Context
+// owns one recycler per worker). Not safe for concurrent use.
+type RNGRecycler struct {
+	free []*rand.Rand
+	live []*rand.Rand
+}
+
+// New returns a stream seeded with seed, reusing a recycled source when
+// one is available. Streams derived from it recycle through this pool too.
+func (p *RNGRecycler) New(seed int64) *RNG {
+	var r *rand.Rand
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		r.Seed(seed)
+	} else {
+		r = rand.New(rand.NewSource(seed))
+	}
+	p.live = append(p.live, r)
+	return &RNG{r: r, rec: p}
+}
+
+// Recycle reclaims every stream handed out since the last Recycle. The
+// caller must guarantee those streams are dead (the run they were built
+// for has completed): a reclaimed source re-seeds under the next run.
+func (p *RNGRecycler) Recycle() {
+	p.free = append(p.free, p.live...)
+	for i := range p.live {
+		p.live[i] = nil
+	}
+	p.live = p.live[:0]
+}
+
+// Len reports the number of pooled free sources (tests/stats).
+func (p *RNGRecycler) Len() int { return len(p.free) }
+
+// Derive returns a new independent stream labelled relative to this one,
+// drawn from the same recycler when this stream came from one.
 func (g *RNG) Derive(label string) *RNG {
-	return NewRNG(DeriveSeed(g.r.Int63(), label))
+	seed := DeriveSeed(g.r.Int63(), label)
+	if g.rec != nil {
+		return g.rec.New(seed)
+	}
+	return NewRNG(seed)
 }
 
 // Float64 returns a uniform value in [0,1).

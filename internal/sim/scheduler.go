@@ -383,3 +383,32 @@ func (s *Scheduler) Run() {
 
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (s *Scheduler) Stop() { s.stopped = true }
+
+// Reset returns the scheduler to its freshly-constructed state — clock at
+// zero, no pending events — while keeping the heap's backing array and
+// the task-event free list. Pending pooled task events are recycled into
+// the free list (their Task references cleared so nothing from the
+// previous simulation is pinned); pending closure events are dropped
+// (their retained handles stay valid but refer to a dead simulation).
+//
+// The sequence counter deliberately keeps counting across Reset: only the
+// relative order of seq values is observable (FIFO tie-breaking among
+// same-time events), so continuing the count changes no behaviour, while
+// restarting it would let a TaskHandle retained across Reset alias a
+// recycled Event re-issued under the same seq — voiding CancelTask's
+// stale-handle guarantee. A Reset scheduler is therefore observationally
+// indistinguishable from NewScheduler's, which is what lets a worker
+// reuse one scheduler across runs without perturbing a single bit of the
+// results (scenario.Context relies on this).
+func (s *Scheduler) Reset() {
+	for i := range s.heap {
+		e := s.heap[i].ev
+		e.index = -1
+		s.recycle(e) // no-op for closure events
+		s.heap[i] = heapEntry{}
+	}
+	s.heap = s.heap[:0]
+	s.now = 0
+	s.stopped = false
+	s.Executed = 0
+}

@@ -479,3 +479,84 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 		s.Step()
 	}
 }
+
+func TestSchedulerResetMatchesFresh(t *testing.T) {
+	// Run an arbitrary workload, Reset, and verify the scheduler replays a
+	// second workload exactly like a brand-new scheduler would: same
+	// dispatch order, same sequence numbering, same clock.
+	type rec struct{ order []int }
+	load := func(s *Scheduler, r *rec) {
+		tr := &taskRec{}
+		s.At(5, func() { r.order = append(r.order, 1) })
+		s.At(5, func() { r.order = append(r.order, 2) }) // FIFO tie
+		s.AtTask(3, tr, 3)
+		s.After(10, func() { r.order = append(r.order, 4); r.order = append(r.order, tr.got...) })
+		s.RunUntil(20)
+	}
+
+	reused := NewScheduler()
+	// First life: leave pending events in the heap (both flavours) so Reset
+	// has something nontrivial to clear.
+	reused.At(1, func() {})
+	reused.AtTask(100, &taskRec{}, 0)
+	reused.At(200, func() {})
+	reused.RunUntil(50)
+	if reused.Len() == 0 {
+		t.Fatal("test wants pending events at Reset")
+	}
+	reused.Reset()
+
+	if reused.Now() != 0 || reused.Len() != 0 || reused.Executed != 0 {
+		t.Fatalf("reset state: now=%v len=%d executed=%d", reused.Now(), reused.Len(), reused.Executed)
+	}
+	if reused.FreeListLen() == 0 {
+		t.Fatal("reset dropped the pooled task event instead of recycling it")
+	}
+
+	var a, b rec
+	fresh := NewScheduler()
+	load(fresh, &a)
+	load(reused, &b)
+	if len(a.order) != len(b.order) {
+		t.Fatalf("dispatch counts differ: %v vs %v", a.order, b.order)
+	}
+	for i := range a.order {
+		if a.order[i] != b.order[i] {
+			t.Fatalf("dispatch order differs: %v vs %v", a.order, b.order)
+		}
+	}
+	if fresh.Now() != reused.Now() || fresh.Executed != reused.Executed {
+		t.Fatalf("clock/executed differ: %v/%d vs %v/%d",
+			fresh.Now(), fresh.Executed, reused.Now(), reused.Executed)
+	}
+}
+
+func TestRNGRecyclerBitIdentical(t *testing.T) {
+	var p RNGRecycler
+	draw := func(g *RNG) [4]int64 {
+		d := g.Derive("sub")
+		return [4]int64{g.Int63(), d.Int63(), g.Int63(), int64(g.Intn(1000))}
+	}
+	fresh := draw(NewRNG(42))
+	first := draw(p.New(42))
+	if fresh != first {
+		t.Fatalf("recycler first life differs: %v vs %v", fresh, first)
+	}
+	p.Recycle()
+	if p.Len() == 0 {
+		t.Fatal("recycler reclaimed nothing")
+	}
+	second := draw(p.New(42))
+	if fresh != second {
+		t.Fatalf("re-seeded source differs from fresh: %v vs %v", fresh, second)
+	}
+	// A different seed on a recycled source is that seed's stream.
+	p.Recycle()
+	other := draw(p.New(7))
+	if other != draw(NewRNG(7)) {
+		t.Fatal("recycled source not equivalent under new seed")
+	}
+	if other == fresh {
+		t.Fatal("seed ignored on recycled source")
+	}
+}

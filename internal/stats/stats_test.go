@@ -98,3 +98,93 @@ func TestStdDevNonNegative(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEdgeCasesEmptyAndSingleton(t *testing.T) {
+	// n = 0: every estimator is defined as 0, never NaN.
+	if Mean(nil) != 0 || StdDevPop(nil) != 0 || StdDevSample(nil) != 0 || CI95(nil) != 0 {
+		t.Fatal("n=0 estimators must be 0")
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Fatal("n=0 MinMax must be (0,0)")
+	}
+	// n = 1: a single repetition has no spread estimate; CI95 must be 0
+	// (not NaN from a 0/0), so single-rep sweep tables stay printable.
+	one := []float64{42}
+	if CI95(one) != 0 || StdDevSample(one) != 0 {
+		t.Fatalf("n=1: CI95=%v sd=%v, want 0", CI95(one), StdDevSample(one))
+	}
+	if Mean(one) != 42 {
+		t.Fatal("n=1 mean")
+	}
+}
+
+func TestNaNPropagation(t *testing.T) {
+	// A NaN observation must poison the aggregate, not vanish into a
+	// plausible-looking number: silently averaging around a NaN metric
+	// would hide a broken metric extractor.
+	xs := []float64{1, math.NaN(), 3}
+	if !math.IsNaN(Mean(xs)) {
+		t.Fatal("mean must propagate NaN")
+	}
+	if !math.IsNaN(StdDevPop(xs)) || !math.IsNaN(StdDevSample(xs)) {
+		t.Fatal("stddev must propagate NaN")
+	}
+	if !math.IsNaN(CI95(xs)) {
+		t.Fatal("CI95 must propagate NaN")
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.CI95()) {
+		t.Fatal("Welford must propagate NaN")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{7},
+		{1, 2},
+		{2, 4, 4, 4, 5, 5, 7, 9},
+		{1e9, 1e9 + 1, 1e9 + 2, 1e9 + 3}, // catastrophic-cancellation regime
+		{-5, 0, 5, 2.5, -2.5},
+	}
+	for _, xs := range cases {
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		if w.N() != len(xs) {
+			t.Fatalf("N=%d want %d", w.N(), len(xs))
+		}
+		if !almostEq(w.Mean(), Mean(xs)) {
+			t.Fatalf("%v: Welford mean %v, batch %v", xs, w.Mean(), Mean(xs))
+		}
+		if !almostEq(w.StdDevSample(), StdDevSample(xs)) {
+			t.Fatalf("%v: Welford sd %v, batch %v", xs, w.StdDevSample(), StdDevSample(xs))
+		}
+		if !almostEq(w.CI95(), CI95(xs)) {
+			t.Fatalf("%v: Welford CI %v, batch %v", xs, w.CI95(), CI95(xs))
+		}
+	}
+}
+
+func TestWelfordProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-6*(1+math.Abs(Mean(xs))) &&
+			math.Abs(w.CI95()-CI95(xs)) < 1e-6*(1+CI95(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

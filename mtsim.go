@@ -39,6 +39,7 @@ import (
 	"mtsim/internal/geo"
 	"mtsim/internal/metrics"
 	"mtsim/internal/packet"
+	"mtsim/internal/runcache"
 	"mtsim/internal/scenario"
 	"mtsim/internal/sim"
 	"mtsim/internal/trace"
@@ -151,6 +152,28 @@ func Build(cfg Config) (*Scenario, error) { return scenario.Build(cfg) }
 // PaperSweep returns the paper's evaluation grid (DSR/AODV/MTS ×
 // {2,5,10,15,20} m/s × 5 repetitions) over the given base configuration.
 func PaperSweep(base Config) Sweep { return experiment.PaperSweep(base) }
+
+// RunCache is a content-addressed on-disk cache of run results, keyed by a
+// canonical hash of the full Config (seed included) plus a code-version
+// salt. Attach one to Sweep.Cache and repeated sweeps skip every identical
+// cell; an interrupted sweep resumes from its completed runs.
+type RunCache = runcache.Store
+
+// OpenRunCache creates (if needed) and opens a run cache directory.
+func OpenRunCache(dir string) (*RunCache, error) { return runcache.Open(dir) }
+
+// RunCacheKey returns the content address a configuration is cached under.
+func RunCacheKey(cfg Config) (string, error) { return runcache.Key(cfg) }
+
+// RunContext reuses the expensive simulation scaffolding (event scheduler,
+// radio channel, spatial grid, pools) across consecutive runs on one
+// goroutine; results are bit-identical to fresh Builds. Sweep workers use
+// one per goroutine automatically — reach for it directly when running
+// many configurations in your own loop.
+type RunContext = scenario.Context
+
+// NewRunContext returns an empty reusable simulation context.
+func NewRunContext() *RunContext { return scenario.NewContext() }
 
 // PaperFigures returns the definitions of the paper's Figs. 5–11: metric
 // extractors, units, and the qualitative shape the paper reports.

@@ -1,0 +1,46 @@
+package mtsim
+
+import "testing"
+
+// runAllocCeiling is the regression ceiling for one context-reused MTS
+// run of the BenchmarkRunSetupReuse configuration (50 nodes, 10 m/s,
+// 20 s). The packet arena landed this at ~16.7 k allocs/op (from ~107 k
+// before it); the ceiling carries ~80 % headroom over the recorded value
+// so routine noise passes while losing the arena (or a new per-packet
+// allocation on the hot path) fails loudly. If you raise this, update
+// the PERFORMANCE.md "packet arena" table in the same commit.
+const runAllocCeiling = 30_000
+
+// TestRunAllocationCeiling is the allocation-regression guard behind the
+// bench smoke: it measures the steady-state allocations of a cached-
+// context run directly (no -bench invocation needed), so plain `go test
+// ./...` — and therefore CI — fails when the data plane regresses.
+func TestRunAllocationCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard runs full simulations")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	cfg := benchBase()
+	cfg.Protocol = "MTS"
+	cfg.MaxSpeed = 10
+	cfg.Seed = 1
+	ctx := NewRunContext()
+	// Warm the context: the first run grows the scaffolding and the
+	// arena's free lists; the guard is about the steady state.
+	if _, err := ctx.RunOne(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, err := ctx.RunOne(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("context-reused run: %.0f allocs (ceiling %d)", allocs, runAllocCeiling)
+	if allocs > runAllocCeiling {
+		t.Errorf("allocation regression: %.0f allocs/run exceeds the %d ceiling; "+
+			"profile the data plane (packet arena release points) before raising it",
+			allocs, runAllocCeiling)
+	}
+}

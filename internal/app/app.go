@@ -41,6 +41,7 @@ type CBRNetwork interface {
 // no reliability) — useful for stressing routing without TCP dynamics.
 type CBR struct {
 	net      CBRNetwork
+	ar       *packet.Arena // resolved once from net; nil means plain allocation
 	dst      packet.NodeID
 	flow     int
 	size     int
@@ -55,10 +56,16 @@ type CBR struct {
 // NewCBR creates a CBR source of `size`-byte payloads every interval,
 // active in [startAt, stopAt).
 func NewCBR(net CBRNetwork, flow int, dst packet.NodeID, size int, interval sim.Duration, startAt, stopAt sim.Time) *CBR {
-	return &CBR{
+	c := &CBR{
 		net: net, dst: dst, flow: flow, size: size,
 		interval: interval, startAt: startAt, stopAt: stopAt,
 	}
+	// Resolve the node's packet arena once (node.SetArena precedes source
+	// attachment); plain test networks stay on ordinary allocation.
+	if carrier, ok := net.(interface{ Arena() *packet.Arena }); ok {
+		c.ar = carrier.Arena()
+	}
+	return c
 }
 
 // Install schedules the source.
@@ -72,7 +79,7 @@ func (c *CBR) tick() {
 		return
 	}
 	now := sched.Now()
-	p := &packet.Packet{
+	p := c.ar.NewPacketFrom(packet.Packet{
 		UID:       c.net.UIDs().Next(),
 		Kind:      packet.KindData,
 		Size:      packet.IPHeaderBytes + c.size,
@@ -81,8 +88,9 @@ func (c *CBR) tick() {
 		TTL:       64,
 		CreatedAt: now,
 		DataID:    uint64(c.seq) + 1,
-		TCP:       &packet.TCPHeader{Flow: c.flow, Seq: c.seq, SentAt: now},
-	}
+	})
+	h := c.ar.AttachTCP(p)
+	h.Flow, h.Seq, h.SentAt = c.flow, c.seq, now
 	c.seq++
 	c.Sent++
 	c.net.Originate(p)

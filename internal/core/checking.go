@@ -56,17 +56,20 @@ func (r *Router) sendCheck(src packet.NodeID, sp *storedPath) {
 		PathID:  sp.id,
 		Route:   travel,
 	}
-	p := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindCheck,
-		Size:        checkBase + addrSize*len(travel),
-		Src:         r.env.ID(),
-		Dst:         src,
-		TTL:         routing.DefaultTTL,
-		Routing:     h,
-		SourceRoute: travel,
-		SRIndex:     0,
-	}
+	// SetSourceRoute copies travel into arena-owned storage: the Check
+	// header keeps (and shares, across per-hop copies) the original
+	// slice, so the route must not be recycled when this packet dies.
+	p := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindCheck,
+		Size:    checkBase + addrSize*len(travel),
+		Src:     r.env.ID(),
+		Dst:     src,
+		TTL:     routing.DefaultTTL,
+		Routing: h,
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(p, travel)
 	r.Stats.ChecksSent++
 	r.env.SendMac(p, travel[1])
 }
@@ -173,17 +176,17 @@ func (r *Router) failCheck(p *packet.Packet) {
 		return
 	}
 	back := reverseRoute(h.Route[:idx+1]) // self … D
-	errp := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindCheckErr,
-		Size:        checkErrSize,
-		Src:         self,
-		Dst:         h.From,
-		TTL:         routing.DefaultTTL,
-		Routing:     &CheckErr{PathID: h.PathID, CheckID: h.CheckID},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	errp := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindCheckErr,
+		Size:    checkErrSize,
+		Src:     self,
+		Dst:     h.From,
+		TTL:     routing.DefaultTTL,
+		Routing: &CheckErr{PathID: h.PathID, CheckID: h.CheckID},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(errp, back)
 	r.Stats.CheckErrs++
 	r.env.SendMac(errp, back[1])
 }

@@ -205,6 +205,7 @@ type Stats struct {
 type Router struct {
 	env routing.Env
 	cfg Config
+	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
 
 	bid     uint32
 	seen    map[seenKey]bool
@@ -250,18 +251,23 @@ func (r *Router) usable(sp *srcPath) bool {
 
 // New creates an MTS router bound to env.
 func New(env routing.Env, cfg Config) *Router {
+	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
 		cfg:     cfg,
+		ar:      ar,
 		seen:    make(map[seenKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
 		src:     make(map[packet.NodeID]*srcState),
 		dst:     make(map[packet.NodeID]*dstState),
 		fwd:     make(map[packet.NodeID]map[int]*fwdEntry),
-		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge,
+		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
 }
+
+// Retire implements routing.Retirer: hand back buffered packets at run end.
+func (r *Router) Retire() { r.buffer.Retire() }
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "MTS" }

@@ -38,7 +38,7 @@ func (r *Router) handleData(p *packet.Packet, from packet.NodeID) {
 	if p.Kind == packet.KindData {
 		r.env.NotifyRelay(p)
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	fwd.PathID = chosen
 	fwd.Trail = append(fwd.Trail, self)
@@ -85,17 +85,17 @@ func (r *Router) sendRERR(p *packet.Packet) {
 	if hasLoop(back) || len(back) < 2 || back[len(back)-1] != p.Src {
 		return
 	}
-	errp := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindRERR,
-		Size:        rerrSize,
-		Src:         self,
-		Dst:         p.Src,
-		TTL:         routing.DefaultTTL,
-		Routing:     &RERR{Dst: p.Dst, PathID: p.PathID},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	errp := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRERR,
+		Size:    rerrSize,
+		Src:     self,
+		Dst:     p.Src,
+		TTL:     routing.DefaultTTL,
+		Routing: &RERR{Dst: p.Dst, PathID: p.PathID},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(errp, back)
 	r.Stats.RERRsSent++
 	r.env.SendMac(errp, back[1])
 }
@@ -162,7 +162,10 @@ func (r *Router) failPath(dst packet.NodeID, pathID int) {
 	r.startDiscovery(dst)
 }
 
-// LinkFailed implements routing.Protocol: MAC retry exhaustion toward next.
+// LinkFailed implements routing.Protocol: MAC retry exhaustion toward
+// next. Ownership of p passes back from the MAC: every branch must end
+// with the packet re-sent (a fresh copy, original released), re-buffered,
+// or released outright.
 func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 	self := r.env.ID()
 	r.env.DropQueued(func(q *packet.Packet, n packet.NodeID) bool {
@@ -172,9 +175,11 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 	switch p.Kind {
 	case packet.KindCheck:
 		r.failCheck(p)
+		r.ar.Release(p)
 	case packet.KindRREP, packet.KindCheckErr, packet.KindRERR:
 		// Control losses are absorbed: discovery retries, the next
 		// checking round, or TCP's own timers recover.
+		r.ar.Release(p)
 	default:
 		// Data or ACK.
 		if p.SourceRoute != nil {
@@ -183,6 +188,7 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 			if p.Src == self {
 				r.deletePath(self, p.Dst, p.PathID)
 			}
+			r.ar.Release(p)
 			return
 		}
 		if p.Src == self {
@@ -190,10 +196,11 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 			r.failPath(p.Dst, p.PathID)
 			if ss := r.src[p.Dst]; ss != nil && ss.haveRoute {
 				if sp := ss.paths[ss.current]; sp != nil && sp.alive {
-					q := p.Copy(r.env.UIDs())
+					q := r.ar.Copy(p, r.env.UIDs())
 					q.PathID = ss.current
-					q.Trail = []packet.NodeID{self}
+					r.ar.StartTrail(q, self)
 					r.env.SendMac(q, sp.next)
+					r.ar.Release(p)
 					return
 				}
 			}
@@ -217,12 +224,14 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		avoid = append(avoid, p.Trail...)
 		avoid = append(avoid, next)
 		if nxt, chosen, ok := r.liveFwd(p.Dst, p.PathID, avoid); ok {
-			q := p.Copy(r.env.UIDs())
+			q := r.ar.Copy(p, r.env.UIDs())
 			q.PathID = chosen
 			r.env.SendMac(q, nxt)
+			r.ar.Release(p)
 			return
 		}
 		r.env.NotifyDrop(p, "link-failure")
+		r.ar.Release(p)
 	}
 }
 

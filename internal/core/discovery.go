@@ -10,6 +10,7 @@ func (r *Router) Send(p *packet.Packet) {
 	self := r.env.ID()
 	if p.Dst == self {
 		r.env.DeliverLocal(p, self)
+		r.ar.Release(p)
 		return
 	}
 	// If this node is the destination side of a session with p.Dst (it
@@ -18,7 +19,7 @@ func (r *Router) Send(p *packet.Packet) {
 	// checking packets themselves travel.
 	if ds := r.dst[p.Dst]; ds != nil {
 		if route := r.returnRoute(ds); route != nil {
-			p.SourceRoute = route
+			r.ar.SetSourceRoute(p, route)
 			p.SRIndex = 0
 			r.env.SendMac(p, route[1])
 			return
@@ -35,7 +36,7 @@ func (r *Router) Send(p *packet.Packet) {
 		if ss.haveRoute {
 			if sp := ss.paths[ss.current]; r.usable(sp) {
 				p.PathID = ss.current
-				p.Trail = []packet.NodeID{self}
+				r.ar.StartTrail(p, self)
 				r.env.SendMac(p, sp.next)
 				return
 			}
@@ -82,7 +83,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 	r.bid++
 	self := r.env.ID()
 	h := &RREQ{Orig: self, Target: dst, BID: r.bid, Record: []packet.NodeID{self}}
-	p := &packet.Packet{
+	p := r.ar.NewPacketFrom(packet.Packet{
 		UID:     r.env.UIDs().Next(),
 		Kind:    packet.KindRREQ,
 		Size:    rreqBase + addrSize,
@@ -90,7 +91,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 		Dst:     dst,
 		TTL:     routing.DefaultTTL,
 		Routing: h,
-	}
+	})
 	r.seen[seenKey{self, h.BID}] = true
 	// A fresh discovery invalidates what we knew: the RREQ will flush the
 	// destination's stored paths, so the old path set must not be reused.
@@ -136,15 +137,13 @@ func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
 	if p.TTL <= 1 {
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	nh := &RREQ{Orig: h.Orig, Target: h.Target, BID: h.BID, Hops: h.Hops + 1,
 		Record: append(packet.CloneRoute(h.Record), self)}
 	fwd.Routing = nh
 	fwd.Size = rreqBase + addrSize*len(nh.Record)
-	r.env.Scheduler().After(r.env.RNG().Jitter(routing.MaxBroadcastJitter), func() {
-		r.env.SendMac(fwd, packet.Broadcast)
-	})
+	r.env.SendMacAfter(r.env.RNG().Jitter(routing.MaxBroadcastJitter), fwd, packet.Broadcast)
 }
 
 // rreqAtDestination processes every RREQ copy reaching the target: the
@@ -225,17 +224,17 @@ func (r *Router) sendRREP(sp *storedPath, h *RREQ) {
 		// Single-hop: deliver state directly to the neighbour source.
 		return
 	}
-	p := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindRREP,
-		Size:        rrepBase + addrSize*len(sp.route),
-		Src:         r.env.ID(),
-		Dst:         h.Orig,
-		TTL:         routing.DefaultTTL,
-		Routing:     &RREP{Route: sp.route, BID: h.BID, PathID: sp.id},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	p := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRREP,
+		Size:    rrepBase + addrSize*len(sp.route),
+		Src:     r.env.ID(),
+		Dst:     h.Orig,
+		TTL:     routing.DefaultTTL,
+		Routing: &RREP{Route: sp.route, BID: h.BID, PathID: sp.id},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(p, back)
 	r.env.SendMac(p, back[1])
 }
 
@@ -284,7 +283,7 @@ func (r *Router) completeDiscovery(dst packet.NodeID) {
 	}
 	for _, q := range r.buffer.Pop(dst) {
 		q.PathID = ss.current
-		q.Trail = []packet.NodeID{r.env.ID()}
+		r.ar.StartTrail(q, r.env.ID())
 		r.env.SendMac(q, sp.next)
 	}
 }
@@ -304,7 +303,7 @@ func (r *Router) forwardSourceRouted(p *packet.Packet) {
 		r.env.NotifyDrop(p, "bad-source-route")
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	fwd.SRIndex = idx + 1
 	r.env.SendMac(fwd, p.SourceRoute[idx+1])

@@ -102,6 +102,9 @@ const (
 type txJob struct {
 	pkt  *packet.Packet
 	next packet.NodeID
+	// frame is the attempt currently on the air (released back to the
+	// arena when its tx-done event fires; nil between attempts).
+	frame *packet.Frame
 	// attempts
 	shortRetries int
 	longRetries  int
@@ -151,6 +154,14 @@ type Mac struct {
 	jobPool  sim.Pool[txJob]   // recycled interface-queue jobs
 	respPool sim.Pool[respJob] // recycled CTS/ACK response state
 
+	// arena pools packets and frames for the whole run; may be nil
+	// (hand-assembled test stacks), in which case every release is a
+	// no-op and frames are plain allocations.
+	arena *packet.Arena
+	// resps tracks scheduled/in-flight CTS-or-ACK responses so Retire can
+	// account for their frames at the run horizon.
+	resps []*respJob
+
 	nav        sim.Time
 	responding int // scheduled or in-flight CTS/ACK responses
 
@@ -187,6 +198,23 @@ func New(id packet.NodeID, sched *sim.Scheduler, ch *phy.Channel, cfg Config, up
 // BindRadio attaches the radio this MAC transmits and receives through.
 // Must be called exactly once before the simulation starts.
 func (m *Mac) BindRadio(r *phy.Radio) { m.radio = r }
+
+// SetArena binds the run's packet arena. Must be set (if at all) before
+// any traffic; the node wires it for scenario-built stacks.
+func (m *Mac) SetArena(a *packet.Arena) { m.arena = a }
+
+// propHold is how long released frames and broadcast payloads stay
+// quarantined: the upper bound on any arrival still propagating.
+func (m *Mac) propHold() sim.Duration { return m.channel.MaxPropDelay() }
+
+// releaseJobFrame retires the frame of the job's just-completed attempt.
+func (m *Mac) releaseJobFrame(j *txJob) {
+	if j == nil || j.frame == nil {
+		return
+	}
+	m.arena.ReleaseFrameAfter(j.frame, m.propHold())
+	j.frame = nil
+}
 
 // Timer kinds dispatched through the MAC's sim.Task implementation. All
 // MAC timers run as pooled task events: the 802.11 state machine arms and
@@ -225,14 +253,24 @@ func (m *Mac) Run(arg int) {
 		m.timeoutEvent = sim.TaskHandle{}
 		m.onAckTimeout()
 	case macTxDoneRTS:
+		m.releaseJobFrame(m.cur)
 		m.state = stWaitCTS
 		timeout := m.cfg.SIFS + m.ctsAirtime() + 2*maxPropSlack + m.cfg.SlotTime
 		m.timeoutEvent = m.sched.AfterTaskCancellable(timeout, m, macCTSTimeout)
 	case macTxDoneData:
+		m.releaseJobFrame(m.cur)
 		m.state = stWaitAck
 		timeout := m.cfg.SIFS + m.ackAirtime() + 2*maxPropSlack + m.cfg.SlotTime
 		m.timeoutEvent = m.sched.AfterTaskCancellable(timeout, m, macAckTimeout)
 	case macTxDoneBroadcast:
+		if j := m.cur; j != nil {
+			// A broadcast has no MAC-ACK: the payload dies with the
+			// transmission, but its arrivals are still propagating, so it
+			// goes through the quarantine rather than straight to reuse.
+			m.releaseJobFrame(j)
+			m.arena.ReleaseAfter(j.pkt, m.propHold())
+			j.pkt = nil
+		}
 		m.finishJob()
 	case macSendAfterCTS:
 		job := m.ctsJob
@@ -258,6 +296,30 @@ func (m *Mac) releaseJob(j *txJob) {
 		m.ctsJob = nil
 	}
 	m.jobPool.Put(j)
+}
+
+// Retire releases every packet and frame still in the MAC's custody —
+// the interface queue, the in-flight job and any scheduled CTS/ACK
+// responses — back to the arena. End-of-run accounting only: the MAC must
+// not carry traffic afterwards (the next run rebuilds its node).
+func (m *Mac) Retire() {
+	if j := m.cur; j != nil {
+		m.cur = nil
+		m.releaseJobFrame(j)
+		m.arena.Release(j.pkt)
+		m.releaseJob(j)
+	}
+	for i, j := range m.queue {
+		m.arena.Release(j.pkt)
+		m.releaseJob(j)
+		m.queue[i] = nil
+	}
+	m.queue = m.queue[:0]
+	for len(m.resps) > 0 {
+		r := m.resps[0]
+		m.arena.ReleaseFrame(r.f)
+		m.releaseResp(r) // removes r from m.resps
+	}
 }
 
 // ID returns the node ID this MAC serves.

@@ -71,13 +71,13 @@ func (m *Mac) handleRTS(f *packet.Frame) {
 	if nav < 0 {
 		nav = 0
 	}
-	cts := &packet.Frame{
+	cts := m.arena.NewFrameFrom(packet.Frame{
 		UID:    m.uids.Next(),
 		Kind:   packet.FrameCTS,
 		TxFrom: m.id,
 		TxTo:   f.TxFrom,
 		NAV:    nav,
-	}
+	})
 	m.respond(cts, m.ctsAirtime())
 }
 
@@ -102,12 +102,12 @@ func (m *Mac) handleData(f *packet.Frame) {
 		return
 	}
 	// Unicast: always ACK; deliver only if not a duplicate retransmission.
-	ack := &packet.Frame{
+	ack := m.arena.NewFrameFrom(packet.Frame{
 		UID:    m.uids.Next(),
 		Kind:   packet.FrameAck,
 		TxFrom: m.id,
 		TxTo:   f.TxFrom,
-	}
+	})
 	m.respond(ack, m.ackAirtime())
 
 	if last, seen := m.dupCache[f.TxFrom]; seen && f.Retry && last == f.Seq {
@@ -153,8 +153,10 @@ func (r *respJob) Run(arg int) {
 	case respSend:
 		if m.radio.Transmitting() {
 			// We started another transmission at the same instant; the
-			// response is lost and the requester will time out.
+			// response is lost and the requester will time out. The frame
+			// never went on the air, so nobody can be decoding it.
 			m.responding--
+			m.arena.ReleaseFrame(r.f)
 			m.releaseResp(r)
 			m.reconsider()
 			return
@@ -164,12 +166,22 @@ func (r *respJob) Run(arg int) {
 		m.sched.AfterTask(r.airtime, r, respDone)
 	case respDone:
 		m.responding--
+		m.arena.ReleaseFrameAfter(r.f, m.propHold())
 		m.releaseResp(r)
 		m.reconsider()
 	}
 }
 
 func (m *Mac) releaseResp(r *respJob) {
+	for i, q := range m.resps {
+		if q == r {
+			last := len(m.resps) - 1
+			m.resps[i] = m.resps[last]
+			m.resps[last] = nil
+			m.resps = m.resps[:last]
+			break
+		}
+	}
 	m.respPool.Put(r)
 }
 
@@ -183,5 +195,6 @@ func (m *Mac) respond(f *packet.Frame, airtime sim.Duration) {
 	}
 	r := m.respPool.Get()
 	r.m, r.f, r.airtime = m, f, airtime
+	m.resps = append(m.resps, r)
 	m.sched.AfterTask(m.cfg.SIFS, r, respSend)
 }

@@ -12,6 +12,7 @@ import (
 func (m *Mac) Send(p *packet.Packet, next packet.NodeID) {
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.Stats.QueueDrops++
+		m.arena.Release(p)
 		return
 	}
 	job := m.acquireJob(p, next)
@@ -32,6 +33,7 @@ func (m *Mac) DropWhere(pred func(p *packet.Packet, next packet.NodeID) bool) in
 		if pred(j.pkt, j.next) {
 			dropped++
 			m.Stats.QueueDrops++
+			m.arena.Release(j.pkt)
 			m.releaseJob(j)
 		} else {
 			kept = append(kept, j)
@@ -144,7 +146,7 @@ func (m *Mac) transmitRTS(job *txJob) {
 	m.state = stTxRTS
 	dataT := m.dataAirtime(job.pkt, false)
 	nav := m.cfg.SIFS + m.ctsAirtime() + m.cfg.SIFS + dataT + m.cfg.SIFS + m.ackAirtime()
-	f := &packet.Frame{
+	f := m.arena.NewFrameFrom(packet.Frame{
 		UID:    m.uids.Next(),
 		Kind:   packet.FrameRTS,
 		TxFrom: m.id,
@@ -152,7 +154,8 @@ func (m *Mac) transmitRTS(job *txJob) {
 		Seq:    job.seq,
 		Retry:  job.shortRetries > 0,
 		NAV:    nav,
-	}
+	})
+	job.frame = f
 	airtime := m.txTime(m.cfg.RTSBytes, m.cfg.BasicRate)
 	m.put(f, airtime)
 	m.sched.AfterTask(airtime, m, macTxDoneRTS)
@@ -166,7 +169,7 @@ func (m *Mac) transmitData(job *txJob) {
 	if !broadcast {
 		nav = m.cfg.SIFS + m.ackAirtime()
 	}
-	f := &packet.Frame{
+	f := m.arena.NewFrameFrom(packet.Frame{
 		UID:     m.uids.Next(),
 		Kind:    packet.FrameData,
 		TxFrom:  m.id,
@@ -175,7 +178,8 @@ func (m *Mac) transmitData(job *txJob) {
 		Retry:   job.shortRetries > 0 || job.longRetries > 0,
 		Payload: job.pkt,
 		NAV:     nav,
-	}
+	})
+	job.frame = f
 	m.put(f, airtime)
 	if broadcast {
 		m.sched.AfterTask(airtime, m, macTxDoneBroadcast)
@@ -241,13 +245,21 @@ func (m *Mac) retryJob() {
 	m.reconsider()
 }
 
-// finishJob completes the current job successfully and moves on.
+// finishJob completes the current job successfully and moves on. A
+// unicast payload dies here — the MAC-ACK proves every arrival of its
+// final data frame has long landed, and receivers only borrow delivered
+// packets (they copy to forward), so the storage is free to recycle.
+// Broadcast payloads were already released (quarantined) at tx-done.
 func (m *Mac) finishJob() {
 	job := m.cur
 	m.cur = nil
 	m.cw = m.cfg.CWMin
 	m.state = stIdle
 	if job != nil {
+		if job.pkt != nil {
+			m.arena.ReleaseAfter(job.pkt, m.propHold())
+			job.pkt = nil
+		}
 		m.releaseJob(job)
 	}
 	m.reconsider()

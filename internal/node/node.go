@@ -25,6 +25,12 @@ type Node struct {
 	sched *sim.Scheduler
 	rng   *sim.RNG
 	uids  *packet.UIDSource
+	arena *packet.Arena
+
+	// pend are the delayed (jittered) sends not yet handed to the MAC;
+	// the node owns their packets until the timer fires.
+	pend   []*delayedSend
+	dsPool sim.Pool[delayedSend]
 
 	Mob   mobility.Model
 	Radio *phy.Radio
@@ -73,6 +79,18 @@ func New(id packet.NodeID, sched *sim.Scheduler, ch *phy.Channel, macCfg mac.Con
 	return n
 }
 
+// SetArena binds the run's packet arena to the node and its MAC. Must be
+// called (if at all) before SetProtocol and before any traffic, so that
+// the protocol and transport endpoints resolve the same arena.
+func (n *Node) SetArena(a *packet.Arena) {
+	n.arena = a
+	n.Mac.SetArena(a)
+}
+
+// Arena implements routing.ArenaCarrier (and the transport layer's
+// equivalent assertion); nil when the node was assembled without one.
+func (n *Node) Arena() *packet.Arena { return n.arena }
+
 // SetProtocol binds the routing protocol. Must be called before Start.
 func (n *Node) SetProtocol(p routing.Protocol) {
 	n.Proto = p
@@ -99,7 +117,9 @@ func (n *Node) AddTap(h func(f *packet.Frame)) {
 func (n *Node) Originate(p *packet.Packet) {
 	if n.Proto != nil {
 		n.Proto.Send(p)
+		return
 	}
+	n.arena.Release(p)
 }
 
 // Start initialises the routing protocol timers.
@@ -151,9 +171,68 @@ func (n *Node) UIDs() *packet.UIDSource { return n.uids }
 func (n *Node) SendMac(p *packet.Packet, next packet.NodeID) {
 	if n.DropFilter != nil && n.DropFilter(p, next) {
 		n.NotifyDrop(p, "adversary")
+		n.arena.Release(p)
 		return
 	}
 	n.Mac.Send(p, next)
+}
+
+// delayedSend is one jittered transmission awaiting its timer: the node
+// owns the packet until the task fires and re-enters SendMac (so the
+// adversary DropFilter still vets it at fire time, exactly as an
+// immediate send would be).
+type delayedSend struct {
+	n    *Node
+	p    *packet.Packet
+	next packet.NodeID
+	h    sim.TaskHandle
+}
+
+// Run implements sim.Task.
+func (d *delayedSend) Run(int) {
+	n, p, next := d.n, d.p, d.next
+	n.forgetDelayed(d)
+	n.SendMac(p, next)
+}
+
+func (n *Node) forgetDelayed(d *delayedSend) {
+	for i, q := range n.pend {
+		if q == d {
+			last := len(n.pend) - 1
+			n.pend[i] = n.pend[last]
+			n.pend[last] = nil
+			n.pend = n.pend[:last]
+			break
+		}
+	}
+	n.dsPool.Put(d)
+}
+
+// SendMacAfter implements routing.Env: SendMac after delay d, on a pooled
+// task event (protocol broadcast jitter used to burn one closure + event
+// allocation per flooded hop).
+func (n *Node) SendMacAfter(d sim.Duration, p *packet.Packet, next packet.NodeID) {
+	ds := n.dsPool.Get()
+	ds.n, ds.p, ds.next = n, p, next
+	ds.h = n.sched.AfterTaskCancellable(d, ds, 0)
+	n.pend = append(n.pend, ds)
+}
+
+// Retire hands every packet still in the node's custody at the end of a
+// run — pending jittered sends, the MAC's queue and in-flight exchange,
+// and the routing protocol's send buffers — back to the arena, closing
+// the leak-accounting books. The node must not carry traffic afterwards.
+func (n *Node) Retire() {
+	for len(n.pend) > 0 {
+		d := n.pend[0]
+		n.sched.CancelTask(d.h)
+		n.arena.Release(d.p)
+		n.forgetDelayed(d) // removes d from n.pend
+	}
+	n.Mac.Retire()
+	if rt, ok := n.Proto.(routing.Retirer); ok {
+		rt.Retire()
+	}
 }
 
 // DropQueued implements routing.Env.

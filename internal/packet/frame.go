@@ -42,6 +42,10 @@ type Frame struct {
 	// reserved for the remainder of the exchange (CTS/DATA/ACK). Stations
 	// overhearing the frame defer virtually for this long.
 	NAV sim.Duration
+
+	// aflags is the Arena's lifecycle bookkeeping; zero for frames built
+	// with plain literals.
+	aflags uint8
 }
 
 // IsBroadcast reports whether the frame is link-layer broadcast.

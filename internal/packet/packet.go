@@ -107,6 +107,11 @@ type Packet struct {
 	// traversed (MTS uses it to route RERRs back to the source; traces and
 	// tests use it for path assertions).
 	Trail []NodeID
+
+	// aflags is the Arena's lifecycle bookkeeping (ownership of the
+	// struct and of the slice/header components, released state). Always
+	// zero for packets built with plain literals.
+	aflags uint8
 }
 
 // Copy returns a shallow copy with a fresh UID and duplicated SourceRoute,
@@ -114,6 +119,7 @@ type Packet struct {
 // protocols that mutate headers must copy them explicitly (see CloneRoute).
 func (p *Packet) Copy(uids *UIDSource) *Packet {
 	q := *p
+	q.aflags = 0 // a plain copy is not arena storage, whatever p was
 	q.UID = uids.Next()
 	if p.SourceRoute != nil {
 		q.SourceRoute = append([]NodeID(nil), p.SourceRoute...)

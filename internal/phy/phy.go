@@ -508,6 +508,17 @@ func (c *Channel) arriveEnd(rcv *Radio, f *packet.Frame, decodable bool) {
 	}
 }
 
+// MaxPropDelay bounds the propagation delay of any delivery this channel
+// can schedule (the carrier-sense range at the propagation speed). The
+// MAC uses it as the quarantine hold when releasing frames and broadcast
+// payloads whose arrivals may still be in flight.
+func (c *Channel) MaxPropDelay() sim.Duration {
+	if c.PropSpeed <= 0 {
+		return 0
+	}
+	return sim.Seconds(c.CSRange / c.PropSpeed)
+}
+
 // InRange reports whether two radios can currently decode each other's
 // frames; used by scenario builders and tests for connectivity checks.
 func (c *Channel) InRange(a, b *Radio) bool {

@@ -118,6 +118,7 @@ type discovery struct {
 type Router struct {
 	env routing.Env
 	cfg Config
+	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
 
 	seq uint32
 	bid uint32
@@ -139,16 +140,21 @@ type rreqKey struct {
 
 // New creates an AODV router bound to env.
 func New(env routing.Env, cfg Config) *Router {
+	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
 		cfg:     cfg,
+		ar:      ar,
 		table:   make(map[packet.NodeID]*routeEntry),
 		seen:    make(map[rreqKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
-		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge,
+		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
 }
+
+// Retire implements routing.Retirer: hand back buffered packets at run end.
+func (r *Router) Retire() { r.buffer.Retire() }
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "AODV" }
@@ -203,6 +209,7 @@ func (r *Router) update(dst, next packet.NodeID, hops int, seq uint32, validSeq 
 func (r *Router) Send(p *packet.Packet) {
 	if p.Dst == r.env.ID() {
 		r.env.DeliverLocal(p, r.env.ID())
+		r.ar.Release(p)
 		return
 	}
 	if e := r.route(p.Dst); e != nil {
@@ -250,7 +257,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 		h.TargetSeq = e.seq
 		h.TargetSeqKnown = true
 	}
-	p := &packet.Packet{
+	p := r.ar.NewPacketFrom(packet.Packet{
 		UID:     r.env.UIDs().Next(),
 		Kind:    packet.KindRREQ,
 		Size:    rreqBytes,
@@ -258,7 +265,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 		Dst:     dst,
 		TTL:     d.ttl,
 		Routing: h,
-	}
+	})
 	r.seen[rreqKey{h.Orig, h.BID}] = true
 	r.env.SendMac(p, packet.Broadcast)
 
@@ -338,20 +345,18 @@ func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
 	if p.TTL <= 1 {
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	nh := *h
 	nh.Hops++
 	fwd.Routing = &nh
 	// Jitter de-synchronises neighbours that all heard the same copy.
-	r.env.Scheduler().After(r.env.RNG().Jitter(routing.MaxBroadcastJitter), func() {
-		r.env.SendMac(fwd, packet.Broadcast)
-	})
+	r.env.SendMacAfter(r.env.RNG().Jitter(routing.MaxBroadcastJitter), fwd, packet.Broadcast)
 }
 
 func (r *Router) sendRREP(orig, target packet.NodeID, targetSeq uint32, hops int, via packet.NodeID) {
 	h := &RREP{Orig: orig, Target: target, TargetSeq: targetSeq, Hops: hops}
-	p := &packet.Packet{
+	p := r.ar.NewPacketFrom(packet.Packet{
 		UID:     r.env.UIDs().Next(),
 		Kind:    packet.KindRREP,
 		Size:    rrepBytes,
@@ -359,7 +364,7 @@ func (r *Router) sendRREP(orig, target packet.NodeID, targetSeq uint32, hops int
 		Dst:     orig,
 		TTL:     routing.DefaultTTL,
 		Routing: h,
-	}
+	})
 	r.env.SendMac(p, via)
 }
 
@@ -378,13 +383,15 @@ func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
 		return // reverse route evaporated; reply is lost
 	}
 	r.touch(e)
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	nh := *h
 	nh.Hops++
 	fwd.Routing = &nh
 	if fwd.TTL > 0 {
 		r.env.SendMac(fwd, e.next)
+	} else {
+		r.ar.Release(fwd)
 	}
 }
 
@@ -424,7 +431,7 @@ func (r *Router) handleRERR(p *packet.Packet, from packet.NodeID) {
 
 func (r *Router) broadcastRERR(list []Unreachable) {
 	h := &RERR{Unreachable: list}
-	p := &packet.Packet{
+	p := r.ar.NewPacketFrom(packet.Packet{
 		UID:     r.env.UIDs().Next(),
 		Kind:    packet.KindRERR,
 		Size:    rerrBase + rerrPer*len(list),
@@ -432,7 +439,7 @@ func (r *Router) broadcastRERR(list []Unreachable) {
 		Dst:     packet.Broadcast,
 		TTL:     1,
 		Routing: h,
-	}
+	})
 	r.RERRsSent++
 	r.env.SendMac(p, packet.Broadcast)
 }
@@ -462,7 +469,7 @@ func (r *Router) handleData(p *packet.Packet, from packet.NodeID) {
 	if re := r.route(p.Src); re != nil {
 		r.touch(re)
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	r.env.SendMac(fwd, e.next)
 }
@@ -493,14 +500,17 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 
 	// A data packet from this very node restarts discovery; transit
 	// packets are dropped (no local repair — documented simplification).
+	// Ownership of p passed back from the MAC: release it unless it was
+	// re-buffered.
 	if p.Kind == packet.KindData || p.Kind == packet.KindAck {
 		if p.Src == r.env.ID() {
 			r.buffer.Push(p.Dst, p)
 			r.startDiscovery(p.Dst)
-		} else {
-			r.env.NotifyDrop(p, "link-failure")
+			return
 		}
+		r.env.NotifyDrop(p, "link-failure")
 	}
+	r.ar.Release(p)
 }
 
 // RouteTo exposes the current next hop for tests and visualisation.

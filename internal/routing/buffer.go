@@ -7,11 +7,14 @@ import (
 
 // SendBuffer holds data packets awaiting route discovery, per destination,
 // with a capacity bound and an age limit — the analogue of ns-2's send
-// buffer. All three protocols use one.
+// buffer. All three protocols use one. The buffer owns its packets: every
+// eviction releases the packet back to the arena after notifying onDrop,
+// so protocols cannot forget the release and leak.
 type SendBuffer struct {
 	cap    int
 	maxAge sim.Duration
 	sched  *sim.Scheduler
+	ar     *packet.Arena
 	onDrop func(p *packet.Packet, reason string)
 
 	byDst map[packet.NodeID][]buffered
@@ -23,13 +26,14 @@ type buffered struct {
 }
 
 // NewSendBuffer creates a buffer holding at most capacity packets per
-// destination, each for at most maxAge. onDrop (may be nil) is told about
-// evictions.
-func NewSendBuffer(sched *sim.Scheduler, capacity int, maxAge sim.Duration, onDrop func(*packet.Packet, string)) *SendBuffer {
+// destination, each for at most maxAge. ar (may be nil) receives evicted
+// packets' storage; onDrop (may be nil) is told about evictions first.
+func NewSendBuffer(sched *sim.Scheduler, capacity int, maxAge sim.Duration, ar *packet.Arena, onDrop func(*packet.Packet, string)) *SendBuffer {
 	return &SendBuffer{
 		cap:    capacity,
 		maxAge: maxAge,
 		sched:  sched,
+		ar:     ar,
 		onDrop: onDrop,
 		byDst:  make(map[packet.NodeID][]buffered),
 	}
@@ -65,6 +69,18 @@ func (b *SendBuffer) DropAll(dst packet.NodeID) {
 	delete(b.byDst, dst)
 }
 
+// Retire releases every buffered packet back to the arena and empties the
+// buffer. End-of-run accounting only: unlike DropAll it emits no drop
+// notifications (the metrics were already gathered).
+func (b *SendBuffer) Retire() {
+	for dst, q := range b.byDst {
+		for _, e := range q {
+			b.ar.Release(e.p)
+		}
+		delete(b.byDst, dst)
+	}
+}
+
 // Len returns the number of packets buffered for dst.
 func (b *SendBuffer) Len(dst packet.NodeID) int { return len(b.byDst[dst]) }
 
@@ -82,4 +98,5 @@ func (b *SendBuffer) drop(p *packet.Packet, reason string) {
 	if b.onDrop != nil {
 		b.onDrop(p, reason)
 	}
+	b.ar.Release(p)
 }

@@ -85,6 +85,7 @@ type discovery struct {
 type Router struct {
 	env routing.Env
 	cfg Config
+	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
 
 	cache   *routeCache
 	reqID   uint32
@@ -106,16 +107,21 @@ type seenKey struct {
 
 // New creates a DSR router bound to env.
 func New(env routing.Env, cfg Config) *Router {
+	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
 		cfg:     cfg,
+		ar:      ar,
 		cache:   newRouteCache(env.ID(), cfg.CachePerDst, cfg.CacheGlobal),
 		seen:    make(map[seenKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
-		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge,
+		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
 }
+
+// Retire implements routing.Retirer: hand back buffered packets at run end.
+func (r *Router) Retire() { r.buffer.Retire() }
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "DSR" }
@@ -128,6 +134,7 @@ func (r *Router) Send(p *packet.Packet) {
 	self := r.env.ID()
 	if p.Dst == self {
 		r.env.DeliverLocal(p, self)
+		r.ar.Release(p)
 		return
 	}
 	if route := r.cache.Get(p.Dst); route != nil {
@@ -140,7 +147,7 @@ func (r *Router) Send(p *packet.Packet) {
 
 // sendAlong stamps the source route onto p and transmits to the first hop.
 func (r *Router) sendAlong(p *packet.Packet, route []packet.NodeID) {
-	p.SourceRoute = packet.CloneRoute(route)
+	r.ar.SetSourceRoute(p, route)
 	p.SRIndex = 0
 	r.env.SendMac(p, route[1])
 }
@@ -160,7 +167,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 	r.reqID++
 	self := r.env.ID()
 	h := &RREQ{Orig: self, Target: dst, ID: r.reqID, Record: []packet.NodeID{self}}
-	p := &packet.Packet{
+	p := r.ar.NewPacketFrom(packet.Packet{
 		UID:     r.env.UIDs().Next(),
 		Kind:    packet.KindRREQ,
 		Size:    rreqBase + addrSize,
@@ -168,7 +175,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 		Dst:     dst,
 		TTL:     routing.DefaultTTL,
 		Routing: h,
-	}
+	})
 	r.seen[seenKey{self, h.ID}] = true
 	r.env.SendMac(p, packet.Broadcast)
 
@@ -262,15 +269,13 @@ func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
 	if p.TTL <= 1 {
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	nh := &RREQ{Orig: h.Orig, Target: h.Target, ID: h.ID,
 		Record: append(packet.CloneRoute(h.Record), self)}
 	fwd.Routing = nh
 	fwd.Size = rreqBase + addrSize*len(nh.Record)
-	r.env.Scheduler().After(r.env.RNG().Jitter(routing.MaxBroadcastJitter), func() {
-		r.env.SendMac(fwd, packet.Broadcast)
-	})
+	r.env.SendMacAfter(r.env.RNG().Jitter(routing.MaxBroadcastJitter), fwd, packet.Broadcast)
 }
 
 // sendRREP unicasts a reply carrying the full route back to its origin
@@ -294,17 +299,17 @@ func (r *Router) sendRREP(route []packet.NodeID) {
 	if len(back) < 2 {
 		return
 	}
-	p := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindRREP,
-		Size:        rrepBase + addrSize*len(route),
-		Src:         self,
-		Dst:         back[len(back)-1],
-		TTL:         routing.DefaultTTL,
-		Routing:     &RREP{Route: route},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	p := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRREP,
+		Size:    rrepBase + addrSize*len(route),
+		Src:     self,
+		Dst:     back[len(back)-1],
+		TTL:     routing.DefaultTTL,
+		Routing: &RREP{Route: route},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(p, back)
 	r.env.SendMac(p, back[1])
 }
 
@@ -365,7 +370,7 @@ func (r *Router) forwardSourceRouted(p *packet.Packet) {
 		r.env.NotifyDrop(p, "bad-source-route")
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	fwd.SRIndex = idx + 1
 	r.env.SendMac(fwd, p.SourceRoute[idx+1])
@@ -427,7 +432,9 @@ func (r *Router) TapFrame(f *packet.Frame) {
 	}
 }
 
-// LinkFailed implements routing.Protocol: MAC retry exhaustion toward next.
+// LinkFailed implements routing.Protocol: MAC retry exhaustion toward
+// next. Ownership of p passes back from the MAC: every branch re-sends
+// it, re-buffers it, or releases it.
 func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 	self := r.env.ID()
 	r.cache.RemoveLink(self, next)
@@ -440,7 +447,7 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 
 	switch {
 	case p.Kind == packet.KindRERR, p.Kind == packet.KindRREP:
-		return // control packets are not salvaged
+		r.ar.Release(p) // control packets are not salvaged
 	case p.Src == self:
 		// Our own packet: retry via another cached route or rediscover.
 		if route := r.cache.Get(p.Dst); route != nil {
@@ -469,17 +476,17 @@ func (r *Router) sendRERR(p *packet.Packet, from, to packet.NodeID) {
 		return
 	}
 	back := reverseRoute(p.SourceRoute[:idx+1])
-	err := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindRERR,
-		Size:        rerrSize,
-		Src:         self,
-		Dst:         p.Src,
-		TTL:         routing.DefaultTTL,
-		Routing:     &RERR{From: from, To: to},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	err := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRERR,
+		Size:    rerrSize,
+		Src:     self,
+		Dst:     p.Src,
+		TTL:     routing.DefaultTTL,
+		Routing: &RERR{From: from, To: to},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(err, back)
 	r.env.SendMac(err, back[1])
 }
 
@@ -488,19 +495,22 @@ func (r *Router) sendRERR(p *packet.Packet, from, to packet.NodeID) {
 func (r *Router) salvage(p *packet.Packet, failedNext packet.NodeID) {
 	if p.Salvage >= r.cfg.MaxSalvage {
 		r.env.NotifyDrop(p, "salvage-limit")
+		r.ar.Release(p)
 		return
 	}
 	route := r.cache.GetAvoidingLink(p.Dst, r.env.ID(), failedNext)
 	if route == nil {
 		r.env.NotifyDrop(p, "link-failure")
+		r.ar.Release(p)
 		return
 	}
 	r.Salvages++
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.Salvage++
-	fwd.SourceRoute = packet.CloneRoute(route)
+	r.ar.SetSourceRoute(fwd, route)
 	fwd.SRIndex = 0
 	r.env.SendMac(fwd, route[1])
+	r.ar.Release(p)
 }
 
 // CacheLen exposes the number of cached routes (tests).

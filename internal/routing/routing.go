@@ -27,6 +27,11 @@ type Env interface {
 	// SendMac queues p for link-layer transmission to next
 	// (packet.Broadcast floods to all neighbours).
 	SendMac(p *packet.Packet, next packet.NodeID)
+	// SendMacAfter is SendMac deferred by d — the jittered re-broadcast
+	// every protocol applies to flooded packets. Ownership of p passes to
+	// the environment immediately, so a run that ends before the jitter
+	// fires can still account for (and retire) the packet.
+	SendMacAfter(d sim.Duration, p *packet.Packet, next packet.NodeID)
 	// DropQueued removes packets matching pred from the interface queue,
 	// returning the number removed (used after link failures).
 	DropQueued(pred func(p *packet.Packet, next packet.NodeID) bool) int
@@ -55,6 +60,29 @@ type Protocol interface {
 	// LinkFailed is the MAC's retry-exhaustion feedback for a unicast
 	// packet that could not reach next.
 	LinkFailed(p *packet.Packet, next packet.NodeID)
+}
+
+// ArenaCarrier is implemented by environments that own a packet arena
+// (node.Node). Protocols acquire and release packets through the carried
+// arena; plain test environments without one fall back to ordinary
+// allocation via the nil-arena methods.
+type ArenaCarrier interface {
+	Arena() *packet.Arena
+}
+
+// ArenaOf resolves env's packet arena, or nil when env does not carry one.
+func ArenaOf(env Env) *packet.Arena {
+	if c, ok := env.(ArenaCarrier); ok {
+		return c.Arena()
+	}
+	return nil
+}
+
+// Retirer is implemented by protocols that can hand back packets still in
+// their custody (send buffers) when a run ends; the node calls it from
+// Retire so the arena's leak accounting closes out.
+type Retirer interface {
+	Retire()
 }
 
 // SeqNewer reports whether sequence number a is fresher than b using

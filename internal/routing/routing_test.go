@@ -15,7 +15,7 @@ func mkPkt(u *packet.UIDSource) *packet.Packet {
 func TestSendBufferPushPop(t *testing.T) {
 	sched := sim.NewScheduler()
 	var uids packet.UIDSource
-	b := NewSendBuffer(sched, 4, 8*sim.Second, nil)
+	b := NewSendBuffer(sched, 4, 8*sim.Second, nil, nil)
 	p1, p2 := mkPkt(&uids), mkPkt(&uids)
 	b.Push(5, p1)
 	b.Push(5, p2)
@@ -35,7 +35,7 @@ func TestSendBufferOverflowEvictsOldest(t *testing.T) {
 	sched := sim.NewScheduler()
 	var uids packet.UIDSource
 	var drops []string
-	b := NewSendBuffer(sched, 2, 8*sim.Second, func(p *packet.Packet, r string) {
+	b := NewSendBuffer(sched, 2, 8*sim.Second, nil, func(p *packet.Packet, r string) {
 		drops = append(drops, r)
 	})
 	p1, p2, p3 := mkPkt(&uids), mkPkt(&uids), mkPkt(&uids)
@@ -55,7 +55,7 @@ func TestSendBufferExpiry(t *testing.T) {
 	sched := sim.NewScheduler()
 	var uids packet.UIDSource
 	var drops int
-	b := NewSendBuffer(sched, 8, 2*sim.Second, func(*packet.Packet, string) { drops++ })
+	b := NewSendBuffer(sched, 8, 2*sim.Second, nil, func(*packet.Packet, string) { drops++ })
 	b.Push(1, mkPkt(&uids))
 	sched.RunUntil(sim.Time(3 * sim.Second))
 	b.Push(1, mkPkt(&uids)) // triggers expiry scan
@@ -72,7 +72,7 @@ func TestSendBufferDropAll(t *testing.T) {
 	sched := sim.NewScheduler()
 	var uids packet.UIDSource
 	var drops int
-	b := NewSendBuffer(sched, 8, 8*sim.Second, func(*packet.Packet, string) { drops++ })
+	b := NewSendBuffer(sched, 8, 8*sim.Second, nil, func(*packet.Packet, string) { drops++ })
 	b.Push(1, mkPkt(&uids))
 	b.Push(1, mkPkt(&uids))
 	b.DropAll(1)
@@ -84,7 +84,7 @@ func TestSendBufferDropAll(t *testing.T) {
 func TestSendBufferPerDestinationIsolation(t *testing.T) {
 	sched := sim.NewScheduler()
 	var uids packet.UIDSource
-	b := NewSendBuffer(sched, 2, 8*sim.Second, nil)
+	b := NewSendBuffer(sched, 2, 8*sim.Second, nil, nil)
 	b.Push(1, mkPkt(&uids))
 	b.Push(2, mkPkt(&uids))
 	b.Push(2, mkPkt(&uids))

@@ -22,6 +22,9 @@ type Env struct {
 	Sched *sim.Scheduler
 	Rng   *sim.RNG
 	Uids  *packet.UIDSource
+	// Pool, when set, is handed to protocols as the environment's packet
+	// arena; nil (the default) means plain allocation everywhere.
+	Pool *packet.Arena
 
 	Outbox    []Sent
 	Delivered []*packet.Packet
@@ -52,9 +55,18 @@ func (e *Env) RNG() *sim.RNG { return e.Rng }
 // UIDs implements routing.Env.
 func (e *Env) UIDs() *packet.UIDSource { return e.Uids }
 
+// Arena implements routing.ArenaCarrier.
+func (e *Env) Arena() *packet.Arena { return e.Pool }
+
 // SendMac implements routing.Env by recording the transmission.
 func (e *Env) SendMac(p *packet.Packet, next packet.NodeID) {
 	e.Outbox = append(e.Outbox, Sent{P: p, Next: next})
+}
+
+// SendMacAfter implements routing.Env: the send is recorded when the
+// shared scheduler reaches now+d.
+func (e *Env) SendMacAfter(d sim.Duration, p *packet.Packet, next packet.NodeID) {
+	e.Sched.After(d, func() { e.SendMac(p, next) })
 }
 
 // DropQueued implements routing.Env (the fake has no queue).

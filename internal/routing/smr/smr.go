@@ -115,6 +115,7 @@ type discovery struct {
 type Router struct {
 	env routing.Env
 	cfg Config
+	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
 
 	reqID   uint32
 	seen    map[seenKey]*rreqSeen
@@ -144,17 +145,22 @@ type seenKey struct {
 
 // New creates an SMR router bound to env.
 func New(env routing.Env, cfg Config) *Router {
+	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
 		cfg:     cfg,
+		ar:      ar,
 		seen:    make(map[seenKey]*rreqSeen),
 		collect: make(map[packet.NodeID]*collectState),
 		pending: make(map[packet.NodeID]*discovery),
 		routes:  make(map[packet.NodeID]*routeSet),
-		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge,
+		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
 }
+
+// Retire implements routing.Retirer: hand back buffered packets at run end.
+func (r *Router) Retire() { r.buffer.Retire() }
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "SMR" }
@@ -167,11 +173,12 @@ func (r *Router) Send(p *packet.Packet) {
 	self := r.env.ID()
 	if p.Dst == self {
 		r.env.DeliverLocal(p, self)
+		r.ar.Release(p)
 		return
 	}
 	if rs := r.routes[p.Dst]; rs != nil && len(rs.routes) > 0 {
 		route := r.pickRoute(rs)
-		p.SourceRoute = packet.CloneRoute(route)
+		r.ar.SetSourceRoute(p, route)
 		p.SRIndex = 0
 		r.env.SendMac(p, route[1])
 		return
@@ -206,7 +213,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 	r.reqID++
 	self := r.env.ID()
 	h := &RREQ{Orig: self, Target: dst, ID: r.reqID, Record: []packet.NodeID{self}}
-	p := &packet.Packet{
+	p := r.ar.NewPacketFrom(packet.Packet{
 		UID:     r.env.UIDs().Next(),
 		Kind:    packet.KindRREQ,
 		Size:    rreqBase + addrSize,
@@ -214,7 +221,7 @@ func (r *Router) attempt(dst packet.NodeID, d *discovery) {
 		Dst:     dst,
 		TTL:     routing.DefaultTTL,
 		Routing: h,
-	}
+	})
 	r.seen[seenKey{self, h.ID}] = &rreqSeen{firstFrom: self, count: 1}
 	r.env.SendMac(p, packet.Broadcast)
 
@@ -279,15 +286,13 @@ func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
 	if p.TTL <= 1 {
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	nh := &RREQ{Orig: h.Orig, Target: h.Target, ID: h.ID,
 		Record: append(packet.CloneRoute(h.Record), self)}
 	fwd.Routing = nh
 	fwd.Size = rreqBase + addrSize*len(nh.Record)
-	r.env.Scheduler().After(r.env.RNG().Jitter(routing.MaxBroadcastJitter), func() {
-		r.env.SendMac(fwd, packet.Broadcast)
-	})
+	r.env.SendMacAfter(r.env.RNG().Jitter(routing.MaxBroadcastJitter), fwd, packet.Broadcast)
 }
 
 // rreqAtDestination replies to the first copy immediately and opens the
@@ -353,17 +358,17 @@ func (r *Router) sendRREP(route []packet.NodeID, index int, id uint32) {
 	if len(back) < 2 {
 		return
 	}
-	p := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindRREP,
-		Size:        rrepBase + addrSize*len(route),
-		Src:         r.env.ID(),
-		Dst:         route[0],
-		TTL:         routing.DefaultTTL,
-		Routing:     &RREP{Route: route, Index: index, ID: id},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	p := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRREP,
+		Size:    rrepBase + addrSize*len(route),
+		Src:     r.env.ID(),
+		Dst:     route[0],
+		TTL:     routing.DefaultTTL,
+		Routing: &RREP{Route: route, Index: index, ID: id},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(p, back)
 	r.env.SendMac(p, back[1])
 }
 
@@ -404,7 +409,7 @@ func (r *Router) completeDiscovery(dst packet.NodeID) {
 	}
 	for _, q := range r.buffer.Pop(dst) {
 		route := r.pickRoute(rs)
-		q.SourceRoute = packet.CloneRoute(route)
+		r.ar.SetSourceRoute(q, route)
 		q.SRIndex = 0
 		r.env.SendMac(q, route[1])
 	}
@@ -465,7 +470,7 @@ func (r *Router) forwardSourceRouted(p *packet.Packet) {
 		r.env.NotifyDrop(p, "bad-source-route")
 		return
 	}
-	fwd := p.Copy(r.env.UIDs())
+	fwd := r.ar.Copy(p, r.env.UIDs())
 	fwd.TTL--
 	fwd.SRIndex = idx + 1
 	r.env.SendMac(fwd, p.SourceRoute[idx+1])
@@ -481,6 +486,7 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		r.sendRERR(p, self, next)
 	}
 	if p.Kind == packet.KindRERR || p.Kind == packet.KindRREP {
+		r.ar.Release(p)
 		return
 	}
 	if p.Src == self {
@@ -488,10 +494,11 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		// route set is exhausted).
 		if rs := r.routes[p.Dst]; rs != nil && len(rs.routes) > 0 {
 			route := r.pickRoute(rs)
-			q := p.Copy(r.env.UIDs())
-			q.SourceRoute = packet.CloneRoute(route)
+			q := r.ar.Copy(p, r.env.UIDs())
+			r.ar.SetSourceRoute(q, route)
 			q.SRIndex = 0
 			r.env.SendMac(q, route[1])
+			r.ar.Release(p)
 			return
 		}
 		r.buffer.Push(p.Dst, p)
@@ -499,6 +506,7 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		return
 	}
 	r.env.NotifyDrop(p, "link-failure")
+	r.ar.Release(p)
 }
 
 func (r *Router) sendRERR(p *packet.Packet, from, to packet.NodeID) {
@@ -514,17 +522,17 @@ func (r *Router) sendRERR(p *packet.Packet, from, to packet.NodeID) {
 		return
 	}
 	back := reverseRoute(p.SourceRoute[:idx+1])
-	err := &packet.Packet{
-		UID:         r.env.UIDs().Next(),
-		Kind:        packet.KindRERR,
-		Size:        rerrSize,
-		Src:         self,
-		Dst:         p.Src,
-		TTL:         routing.DefaultTTL,
-		Routing:     &RERR{From: from, To: to},
-		SourceRoute: back,
-		SRIndex:     0,
-	}
+	err := r.ar.NewPacketFrom(packet.Packet{
+		UID:     r.env.UIDs().Next(),
+		Kind:    packet.KindRERR,
+		Size:    rerrSize,
+		Src:     self,
+		Dst:     p.Src,
+		TTL:     routing.DefaultTTL,
+		Routing: &RERR{From: from, To: to},
+		SRIndex: 0,
+	})
+	r.ar.SetSourceRoute(err, back)
 	r.env.SendMac(err, back[1])
 }
 

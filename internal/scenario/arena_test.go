@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"testing"
+
+	"mtsim/internal/adversary"
+	"mtsim/internal/packet"
+	"mtsim/internal/sim"
+)
+
+// assertArenaClean fails the test unless the scenario's (already retired)
+// arena accounts for every packet and frame it ever handed out: zero
+// live, zero double releases, zero foreign releases, zero writes after
+// release. This is the leak-detecting harness around the packet pool — a
+// new call site that forgets its Release (or releases twice) fails here
+// with the exact counter that moved.
+func assertArenaClean(t *testing.T, a *packet.Arena) {
+	t.Helper()
+	st := a.Stats()
+	if live := a.LivePackets(); live != 0 {
+		t.Errorf("leak: %d live packets after retire (acquired %d, released %d)",
+			live, st.PacketsAcquired, st.PacketsReleased)
+	}
+	if live := a.LiveFrames(); live != 0 {
+		t.Errorf("leak: %d live frames after retire (acquired %d, released %d)",
+			live, st.FramesAcquired, st.FramesReleased)
+	}
+	if st.DoubleReleases != 0 {
+		t.Errorf("%d double releases", st.DoubleReleases)
+	}
+	if st.ForeignReleases != 0 {
+		t.Errorf("%d foreign releases (non-arena packets fed to Release)", st.ForeignReleases)
+	}
+	if st.PoisonTrips != 0 {
+		t.Errorf("%d writes through released packets", st.PoisonTrips)
+	}
+	if st.PacketsAcquired == 0 {
+		t.Error("arena saw no traffic: the scenario is not wired through it")
+	}
+}
+
+// arenaLeakConfig is a full mobile 50-node run, short enough to grid over
+// every protocol × adversary model.
+func arenaLeakConfig(proto string) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = proto
+	cfg.MaxSpeed = 10
+	cfg.Duration = 8 * sim.Second
+	cfg.TCPStart = sim.Time(2 * sim.Second)
+	cfg.Seed = 5
+	return cfg
+}
+
+// TestArenaLeakAccountingAllProtocols runs every protocol × adversary
+// model under the arena's debug mode and demands a clean ledger at run
+// end: every acquired packet and frame released exactly once. MAC queues,
+// in-flight exchanges, jittered re-broadcasts and send buffers are
+// drained by Scenario.Retire; everything else must have hit an explicit
+// release point during the run.
+func TestArenaLeakAccountingAllProtocols(t *testing.T) {
+	adversaries := map[string]adversary.Spec{
+		"legacy":    {},
+		"coalition": {Model: adversary.ModelCoalition, K: 3},
+		"mobile":    {Model: adversary.ModelMobile, K: 3, Interval: 2 * sim.Second},
+		"blackhole": {Model: adversary.ModelBlackhole, K: 2},
+		"grayhole":  {Model: adversary.ModelGrayhole, K: 2, DropRate: 0.5},
+	}
+	ctx := NewContext()
+	for _, proto := range AllProtocols() {
+		for name, spec := range adversaries {
+			t.Run(proto+"/"+name, func(t *testing.T) {
+				cfg := arenaLeakConfig(proto)
+				cfg.Adversary = spec
+				s, err := ctx.Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Arena.Check = true
+				m := s.Run()
+				if m.SegmentsSent == 0 {
+					t.Fatalf("no traffic generated; leak accounting proved nothing")
+				}
+				s.Retire()
+				assertArenaClean(t, s.Arena)
+			})
+		}
+	}
+}
+
+// TestArenaOnOffSameMetrics is the determinism regression through the
+// pooled path: the same seed must produce byte-identical RunMetrics with
+// recycling on and with the reference no-recycling mode (Pooling=false),
+// for every protocol. Any use-after-release, premature reuse or
+// pool-induced behaviour change shows up as a metrics diff here.
+func TestArenaOnOffSameMetrics(t *testing.T) {
+	for _, proto := range AllProtocols() {
+		cfg := goldenConfig(proto)
+		pooled := metricsJSON(t, cfg, Build)
+		reference := metricsJSON(t, cfg, func(c Config) (*Scenario, error) {
+			s, err := Build(c)
+			if err != nil {
+				return nil, err
+			}
+			s.Arena.Pooling = false // reference mode: account, never reuse
+			return s, nil
+		})
+		if string(pooled) != string(reference) {
+			t.Errorf("%s: pooled metrics diverge from reference mode\npooled:    %s\nreference: %s",
+				proto, pooled, reference)
+		}
+	}
+}
+
+// TestArenaGridVsLinearThroughPool re-locks the PR 1 grid-vs-linear
+// equivalence with the pooled data plane: receiver lookup strategy and
+// packet recycling must compose without touching a single metric byte.
+func TestArenaGridVsLinearThroughPool(t *testing.T) {
+	cfg := goldenConfig("MTS")
+	grid := metricsJSON(t, cfg, Build)
+	linear := metricsJSON(t, cfg, func(c Config) (*Scenario, error) {
+		s, err := Build(c)
+		if err != nil {
+			return nil, err
+		}
+		s.Channel.UseLinearScan(true)
+		return s, nil
+	})
+	if string(grid) != string(linear) {
+		t.Errorf("grid and linear scans diverge through the pooled path\ngrid:   %s\nlinear: %s", grid, linear)
+	}
+}
+
+// TestRetireIsIdempotent: a second Retire must find nothing left to
+// release (no double releases), so test harnesses can call it defensively.
+func TestRetireIsIdempotent(t *testing.T) {
+	s, err := Build(arenaLeakConfig("MTS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arena.Check = true
+	s.Run()
+	s.Retire()
+	s.Retire()
+	assertArenaClean(t, s.Arena)
+}

@@ -57,10 +57,17 @@ func TestGoldenMetrics(t *testing.T) {
 	ctx := NewContext()
 	for _, proto := range AllProtocols() {
 		t.Run(proto, func(t *testing.T) {
-			m, err := ctx.RunOne(goldenConfig(proto))
+			s, err := ctx.Build(goldenConfig(proto))
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Every golden run doubles as a packet-arena leak check: the
+			// fixtures prove pooling changed no metric, and the retired
+			// arena's ledger proves no call site leaked or double-freed.
+			s.Arena.Check = true
+			m := s.Run()
+			s.Retire()
+			assertArenaClean(t, s.Arena)
 			got, err := json.MarshalIndent(goldenFile{GOARCH: runtime.GOARCH, Metrics: m}, "", "  ")
 			if err != nil {
 				t.Fatal(err)

@@ -136,6 +136,22 @@ type Scenario struct {
 	Adversary adversary.Adversary
 	Eaves     *eaves.Eavesdropper
 	Collector *metrics.Collector
+	// Arena is the run-scoped packet/frame pool behind the whole data
+	// plane. Tests flip Arena.Check for leak accounting or Arena.Pooling
+	// off for the reference (no-recycling) mode before running.
+	Arena *packet.Arena
+}
+
+// Retire hands every packet still owned by the stack at the run horizon —
+// MAC interface queues and in-flight exchanges, pending jittered
+// broadcasts, protocol send buffers — back to the arena. With Arena.Check
+// on, a retired scenario must account for every packet and frame it ever
+// allocated (Arena.LivePackets()==0): that closure is the leak-detecting
+// harness. The scenario must not be advanced afterwards.
+func (s *Scenario) Retire() {
+	for _, nd := range s.Nodes {
+		nd.Retire()
+	}
 }
 
 // Context is a reusable bundle of the expensive per-run simulation
@@ -158,6 +174,7 @@ type Context struct {
 	collector *metrics.Collector
 	nodes     []*node.Node
 	rngs      sim.RNGRecycler
+	arena     *packet.Arena
 }
 
 // NewContext returns an empty context; the first Build populates it.
@@ -170,10 +187,14 @@ func (ctx *Context) prepare(rxRange, csRange float64) (*sim.Scheduler, *phy.Chan
 		ctx.sched = sim.NewScheduler()
 		ctx.ch = phy.NewChannel(ctx.sched, rxRange, csRange)
 		ctx.collector = metrics.NewCollector()
+		ctx.arena = packet.NewArena()
 	} else {
 		ctx.sched.Reset()
 		ctx.ch.Reset(rxRange, csRange)
 		ctx.collector.Reset()
+		// The previous run's packets and frames — including any still in
+		// MAC custody at its horizon — restock the free lists.
+		ctx.arena.Reset()
 	}
 	// The previous run is dead by contract, so its RNG sources (~5 KiB of
 	// math/rand state each, well over a hundred per scenario) re-seed for
@@ -216,11 +237,14 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 	if ctx != nil {
 		s.Sched, s.Channel, s.Collector = ctx.prepare(cfg.RxRange, cfg.CSRange)
 		s.Nodes = ctx.nodes[:0]
+		s.Arena = ctx.arena
 	} else {
 		s.Sched = sim.NewScheduler()
 		s.Collector = metrics.NewCollector()
 		s.Channel = phy.NewChannel(s.Sched, cfg.RxRange, cfg.CSRange)
+		s.Arena = packet.NewArena()
 	}
+	s.Arena.SetClock(s.Sched.Now)
 	// Receiver lookup is grid-indexed; size the index to the mobility field
 	// (grown to cover any pinned placements outside it) before radios attach.
 	bounds := cfg.Field
@@ -257,6 +281,7 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 		}
 		nd := node.New(id, s.Sched, s.Channel, cfg.MAC, mob,
 			master.Derive(fmt.Sprintf("node/%d", i)), uids)
+		nd.SetArena(s.Arena)
 
 		switch cfg.Protocol {
 		case "DSR":

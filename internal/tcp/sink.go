@@ -22,6 +22,7 @@ type SinkStats struct {
 // (cumulative ACK, ns-2 TCPSink semantics, no delayed ACK).
 type Sink struct {
 	net  Network
+	ar   *packet.Arena // resolved once from net; nil means plain allocation
 	flow int
 
 	nextExpected int64
@@ -41,6 +42,7 @@ type Sink struct {
 func NewSink(net Network, flow int) *Sink {
 	k := &Sink{
 		net:        net,
+		ar:         arenaOf(net),
 		flow:       flow,
 		outOfOrder: make(map[int64]bool),
 	}
@@ -81,7 +83,7 @@ func (k *Sink) receive(p *packet.Packet, _ packet.NodeID) {
 	if k.Mute {
 		return
 	}
-	ack := &packet.Packet{
+	ack := k.ar.NewPacketFrom(packet.Packet{
 		UID:       k.net.UIDs().Next(),
 		Kind:      packet.KindAck,
 		Size:      packet.IPHeaderBytes + packet.TCPHeaderBytes,
@@ -89,13 +91,12 @@ func (k *Sink) receive(p *packet.Packet, _ packet.NodeID) {
 		Dst:       p.Src,
 		TTL:       64,
 		CreatedAt: now,
-		TCP: &packet.TCPHeader{
-			Flow:   k.flow,
-			Seq:    k.nextExpected - 1,
-			Ack:    true,
-			SentAt: p.TCP.SentAt, // echo for the sender's RTT sample
-		},
-	}
+	})
+	h := k.ar.AttachTCP(ack)
+	h.Flow = k.flow
+	h.Seq = k.nextExpected - 1
+	h.Ack = true
+	h.SentAt = p.TCP.SentAt // echo for the sender's RTT sample
 	k.Stats.AcksSent++
 	k.net.Originate(ack)
 }

@@ -26,6 +26,18 @@ type Network interface {
 	Originate(p *packet.Packet)
 }
 
+// arenaOf resolves the network's packet arena when it carries one
+// (node.Node does); plain test networks fall back to nil, i.e. ordinary
+// allocation. Kept as a structural assertion so Network stays minimal and
+// existing fakes keep compiling; endpoints resolve it once at
+// construction (node.SetArena precedes endpoint attachment).
+func arenaOf(net Network) *packet.Arena {
+	if c, ok := net.(interface{ Arena() *packet.Arena }); ok {
+		return c.Arena()
+	}
+	return nil
+}
+
 // Config holds the Reno parameters (ns-2-style defaults).
 type Config struct {
 	MSS          int     // payload bytes per segment
@@ -61,6 +73,7 @@ type SenderStats struct {
 // application (see internal/app.FTP).
 type Sender struct {
 	net  Network
+	ar   *packet.Arena // resolved once from net; nil means plain allocation
 	cfg  Config
 	flow int
 	dst  packet.NodeID
@@ -101,6 +114,7 @@ type Sender struct {
 func NewSender(net Network, cfg Config, flow int, dst packet.NodeID) *Sender {
 	s := &Sender{
 		net:       net,
+		ar:        arenaOf(net),
 		cfg:       cfg,
 		flow:      flow,
 		dst:       dst,
@@ -169,7 +183,7 @@ func (s *Sender) emit(seq int64) {
 		created = now
 		s.firstSent[seq] = created
 	}
-	p := &packet.Packet{
+	p := s.ar.NewPacketFrom(packet.Packet{
 		UID:       s.net.UIDs().Next(),
 		Kind:      packet.KindData,
 		Size:      packet.IPHeaderBytes + packet.TCPHeaderBytes + s.cfg.MSS,
@@ -178,12 +192,9 @@ func (s *Sender) emit(seq int64) {
 		TTL:       64,
 		CreatedAt: created,
 		DataID:    uint64(seq) + 1, // distinct logical payload per segment
-		TCP: &packet.TCPHeader{
-			Flow:   s.flow,
-			Seq:    seq,
-			SentAt: now,
-		},
-	}
+	})
+	h := s.ar.AttachTCP(p)
+	h.Flow, h.Seq, h.SentAt = s.flow, seq, now
 	s.Stats.Segments++
 	if retx {
 		s.Stats.Retransmits++

@@ -1,0 +1,7 @@
+//go:build !race
+
+package mtsim
+
+// raceEnabled reports whether the race detector instruments this build;
+// see race_on_test.go for the counterpart.
+const raceEnabled = false

@@ -20,6 +20,12 @@
 //
 //	experiments -only adversary -ks 1,2,4 -duration 30 -reps 2
 //
+// The defender-vs-attacker grid (countermeasure × adversary at one speed;
+// see internal/countermeasure — data shuffling and adversary-aware MTS
+// against coalitions of taps):
+//
+//	experiments -only countermeasure -cms none,shuffle -ks 1,2 -duration 30 -reps 2
+//
 // Cached and resumable sweeps (see internal/runcache): with -cache-dir,
 // every completed run is persisted under a content address of its full
 // configuration and seed, so re-running any sweep serves identical cells
@@ -56,12 +62,18 @@ func main() {
 		nodes     = flag.Int("nodes", 50, "number of nodes")
 		seedBase  = flag.Int64("seedbase", 1, "first seed; repetition r uses seedbase+r")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		only      = flag.String("only", "all", "what to produce: all, table1, timeseries, adversary, fig5..fig11")
+		only      = flag.String("only", "all", "what to produce: all, table1, timeseries, adversary, countermeasure, fig5..fig11")
 		outDir    = flag.String("out", "", "directory for CSV/markdown output (empty = stdout only)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		advModels = flag.String("advmodels", "coalition,mobile,blackhole,grayhole",
 			"comma-separated adversary models for -only adversary")
-		advKs    = flag.String("ks", "1,2,4", "comma-separated coalition sizes k for -only adversary")
+		advKs = flag.String("ks", "1,2,4", "comma-separated coalition sizes k for -only adversary/countermeasure")
+		cms   = flag.String("cms", "none,shuffle,aware,shuffle+aware",
+			"comma-separated countermeasure models for -only countermeasure")
+		cmAdvModels = flag.String("cm-advmodels", "coalition",
+			"comma-separated adversary models crossed against -cms for -only countermeasure")
+		cmSpeed = flag.Float64("cm-speed", 10,
+			"MAXSPEED (m/s) at which the -only countermeasure tables are rendered")
 		cacheDir = flag.String("cache-dir", "",
 			"content-addressed run cache directory: sweep cells already cached are served without simulating, newly computed cells are persisted (empty = no cache)")
 		noCache = flag.Bool("no-cache", false,
@@ -143,8 +155,31 @@ func main() {
 		}
 	}
 
+	if *only == "countermeasure" {
+		// Defender × attacker grid: every requested countermeasure against
+		// every requested adversary (model × k), at the single -cm-speed
+		// (the grid is already three axes deep; the speed sweep belongs to
+		// the paper figures).
+		sweep.Speeds = []float64{*cmSpeed}
+		for _, model := range splitList(*cmAdvModels) {
+			for _, ks := range splitList(*advKs) {
+				k, err := strconv.Atoi(ks)
+				fail(err)
+				sweep.Adversaries = append(sweep.Adversaries,
+					mtsim.AdversarySpec{Model: model, K: k})
+			}
+		}
+		for _, model := range splitList(*cms) {
+			sweep.Countermeasures = append(sweep.Countermeasures,
+				mtsim.CountermeasureSpec{Model: model})
+		}
+	}
+
 	total := len(sweep.Protocols) * len(sweep.Speeds) * sweep.Reps
 	if n := len(sweep.Adversaries); n > 0 {
+		total *= n
+	}
+	if n := len(sweep.Countermeasures); n > 0 {
 		total *= n
 	}
 	var done int64
@@ -173,6 +208,36 @@ func main() {
 		// sweep whose results failed to checkpoint will recompute them on
 		// resume.
 		fmt.Fprintf(os.Stderr, "warning: %d results could not be written to the cache\n", res.CachePutErrs)
+	}
+
+	if *only == "countermeasure" {
+		// One defence-vs-metric table per figure and adversary: rows are
+		// countermeasures, columns protocols — the defender-vs-attacker
+		// grid (how much each defence claws back from each threat model).
+		figs := mtsim.CountermeasureFigures()
+		if ri, ok := mtsim.FigureByID("advRi"); ok {
+			figs = append(figs, ri)
+		}
+		if dv, ok := mtsim.FigureByID("advDeliv"); ok {
+			figs = append(figs, dv)
+		}
+		var md strings.Builder
+		for _, fig := range figs {
+			// The engine's canonical labels, not Spec.Label(): colliding
+			// specs get "#n" suffixes and must render as distinct cells.
+			for _, advLabel := range sweep.AdversaryLabels() {
+				table := res.CountermeasureTable(fig, *cmSpeed, advLabel)
+				fmt.Println(table)
+				md.WriteString(table)
+				md.WriteString("\n")
+				writeFile(*outDir, fmt.Sprintf("%s_%s.csv", fig.ID, advLabel),
+					res.CountermeasureCSV(fig, *cmSpeed, advLabel))
+			}
+			fmt.Println("expect:", fig.Expect)
+			fmt.Println()
+		}
+		writeFile(*outDir, "countermeasure.txt", md.String())
+		return
 	}
 
 	if *only == "adversary" {

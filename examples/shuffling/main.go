@@ -1,0 +1,81 @@
+// Shuffling: the defender-vs-attacker demo (internal/countermeasure).
+// A coalition of two colluding eavesdroppers taps an identical MTS
+// scenario (same seed ⇒ same mobility, endpoints and taps) while the
+// defence escalates from the paper's undefended baseline through data
+// shuffling, adversary-aware path selection, and both combined.
+//
+// What to look for: undefended TCP hands any tap a long in-order run of
+// consecutive segments — a readable byte stream (stream ratio near 1).
+// Data shuffling releases segments in permuted blocks and disperses them
+// across MTS's disjoint paths, so what the coalition hears fragments into
+// streaks a few packets long (stream bytes collapse) while the delivery
+// rate stays put — the countermeasure starves the attacker of contiguous
+// plaintext, not the destination of data. The aware policy instead caps
+// how much of the flow any one relay carries, trimming the worst-case
+// exposure without touching packet order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtsim"
+)
+
+func main() {
+	defences := []struct {
+		name string
+		spec mtsim.CountermeasureSpec
+	}{
+		{"none", mtsim.CountermeasureSpec{}},
+		{"shuffle", mtsim.CountermeasureSpec{Model: mtsim.CountermeasureShuffle}},
+		{"aware", mtsim.CountermeasureSpec{Model: mtsim.CountermeasureAware}},
+		{"shuffle+aware", mtsim.CountermeasureSpec{Model: mtsim.CountermeasureShuffleAware}},
+	}
+
+	fmt.Println("MTS vs a coalition of 2 eavesdroppers (seed 7, 10 m/s, 60 s),")
+	fmt.Println("defence escalating (identical scenario bits otherwise):")
+	fmt.Println()
+	fmt.Printf("%-14s %6s %7s %10s %12s %12s %7s %9s %9s\n",
+		"defence", "Pe", "Ri", "streamRun", "streamBytes", "streamRatio", "worst", "delivery", "shuffled")
+	for _, d := range defences {
+		cfg := mtsim.DefaultConfig()
+		cfg.Protocol = "MTS"
+		cfg.MaxSpeed = 10
+		cfg.Duration = 60 * mtsim.Second
+		cfg.Seed = 7
+		cfg.Adversary = mtsim.AdversarySpec{Model: mtsim.AdversaryCoalition, K: 2}
+		cfg.Countermeasure = d.spec
+		m, err := mtsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %6d %7.3f %10d %12d %12.3f %7.3f %9.3f %9d\n",
+			d.name, m.CoalitionDistinct, m.InterceptionRatio,
+			m.InterceptedStreamRun, m.InterceptedStreamBytes,
+			m.InterceptedStreamRatio, m.HighestInterception, m.DeliveryRate, m.ShuffledSegments)
+	}
+
+	fmt.Println()
+	fmt.Println("same grid against a single mobile eavesdropper re-tapping every 5 s:")
+	fmt.Println()
+	fmt.Printf("%-14s %6s %7s %10s %12s %12s %7s %9s\n",
+		"defence", "Pe", "Ri", "streamRun", "streamBytes", "streamRatio", "worst", "delivery")
+	for _, d := range defences {
+		cfg := mtsim.DefaultConfig()
+		cfg.Protocol = "MTS"
+		cfg.MaxSpeed = 10
+		cfg.Duration = 60 * mtsim.Second
+		cfg.Seed = 7
+		cfg.Adversary = mtsim.AdversarySpec{Model: mtsim.AdversaryMobile, K: 4, Interval: 5 * mtsim.Second}
+		cfg.Countermeasure = d.spec
+		m, err := mtsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %6d %7.3f %10d %12d %12.3f %7.3f %9.3f\n",
+			d.name, m.CoalitionDistinct, m.InterceptionRatio,
+			m.InterceptedStreamRun, m.InterceptedStreamBytes,
+			m.InterceptedStreamRatio, m.HighestInterception, m.DeliveryRate)
+	}
+}

@@ -25,6 +25,7 @@ package adversary
 import (
 	"fmt"
 
+	"mtsim/internal/eaves"
 	"mtsim/internal/node"
 	"mtsim/internal/packet"
 	"mtsim/internal/sim"
@@ -144,6 +145,11 @@ type Adversary interface {
 	// Dropped returns the data packets adversarial relays discarded
 	// (0 for purely passive models).
 	Dropped() uint64
+	// Contiguity reports both contiguity views of the union Pe: the set
+	// view (longest reassemblable run of consecutive DataIDs and the
+	// packets inside such runs) and the stream view (how much arrived
+	// already in consecutive order). See eaves.ContigStats.
+	Contiguity() eaves.ContigStats
 }
 
 // ratio is the shared Ri implementation: Pe/Pr with the degenerate cases

@@ -14,15 +14,17 @@ type Coalition struct {
 	model   string
 	members []*eaves.Eavesdropper
 	union   map[uint64]bool
+	stream  eaves.StreamTracker
 }
 
 // NewCoalition attaches one eavesdropper per host, all sharing a union
-// set. model is recorded verbatim (ModelEavesdropper for k=1 compat,
+// set and a stream-contiguity tracker over union-new interceptions.
+// model is recorded verbatim (ModelEavesdropper for k=1 compat,
 // ModelCoalition otherwise).
 func NewCoalition(model string, hosts []*node.Node) *Coalition {
 	c := &Coalition{model: model, union: make(map[uint64]bool)}
 	for _, h := range hosts {
-		c.members = append(c.members, eaves.AttachShared(h, c.union))
+		c.members = append(c.members, eaves.AttachShared(h, c.union, &c.stream))
 	}
 	return c
 }
@@ -65,5 +67,8 @@ func (c *Coalition) Ratio(pr uint64) float64 { return ratio(c.Distinct(), pr) }
 
 // Dropped implements Adversary: coalitions are purely passive.
 func (c *Coalition) Dropped() uint64 { return 0 }
+
+// Contiguity implements Adversary over the pooled union.
+func (c *Coalition) Contiguity() eaves.ContigStats { return eaves.Stats(c.union, &c.stream) }
 
 var _ Adversary = (*Coalition)(nil)

@@ -18,6 +18,7 @@ type Dropper struct {
 	model   string
 	members []*eaves.Eavesdropper
 	union   map[uint64]bool
+	stream  eaves.StreamTracker
 	rate    float64
 	rng     *sim.RNG
 	dropped uint64
@@ -34,7 +35,7 @@ func NewDropper(model string, hosts []*node.Node, rate float64, rng *sim.RNG) *D
 		rng:   rng,
 	}
 	for _, h := range hosts {
-		d.members = append(d.members, eaves.AttachShared(h, d.union))
+		d.members = append(d.members, eaves.AttachShared(h, d.union, &d.stream))
 		host := h
 		h.DropFilter = func(p *packet.Packet, next packet.NodeID) bool {
 			return d.shouldDrop(host.ID(), p)
@@ -87,5 +88,8 @@ func (d *Dropper) Ratio(pr uint64) float64 { return ratio(d.Distinct(), pr) }
 
 // Dropped implements Adversary.
 func (d *Dropper) Dropped() uint64 { return d.dropped }
+
+// Contiguity implements Adversary over the insiders' pooled union.
+func (d *Dropper) Contiguity() eaves.ContigStats { return eaves.Stats(d.union, &d.stream) }
 
 var _ Adversary = (*Dropper)(nil)

@@ -19,6 +19,7 @@ type Mobile struct {
 	active  int // index into hosts of the current vantage point
 	perHost []Member
 	union   map[uint64]bool
+	stream  eaves.StreamTracker
 	frames  uint64
 }
 
@@ -64,6 +65,7 @@ func (m *Mobile) tap(host int, f *packet.Frame) {
 	id := f.Payload.DataID
 	if !m.union[id] {
 		m.union[id] = true
+		m.stream.Note(id)
 		m.perHost[host].Distinct++
 	}
 }
@@ -92,5 +94,8 @@ func (m *Mobile) Ratio(pr uint64) float64 { return ratio(m.Distinct(), pr) }
 
 // Dropped implements Adversary: mobile eavesdropping is passive.
 func (m *Mobile) Dropped() uint64 { return 0 }
+
+// Contiguity implements Adversary over the whole-tour union.
+func (m *Mobile) Contiguity() eaves.ContigStats { return eaves.Stats(m.union, &m.stream) }
 
 var _ Adversary = (*Mobile)(nil)

@@ -124,15 +124,23 @@ func (r *Router) considerSwitch(ss *srcState, checkID uint32, pathID int) {
 			ss.pendingSwitch = nil
 		}
 		if pathID == ss.current {
-			return // current path won the race outright
+			// The current path won the race outright; the aware policy
+			// may still move off it when its first hop has grown
+			// over-exposed (usage skew beats speed by ≥ AwarePenalty).
+			if tgt := r.switchTarget(ss, pathID); tgt != pathID {
+				r.switchTo(ss, tgt)
+			}
+			return
 		}
 		if r.cfg.SwitchMargin <= 0 {
-			r.switchTo(ss, pathID)
+			r.switchTo(ss, r.switchTarget(ss, pathID))
 			return
 		}
 		ss.pendingSwitch = r.env.Scheduler().After(r.cfg.SwitchMargin, func() {
 			ss.pendingSwitch = nil
-			r.switchTo(ss, pathID)
+			// Re-score at fire time: usage counts may have moved during
+			// the margin.
+			r.switchTo(ss, r.switchTarget(ss, pathID))
 		})
 		return
 	}

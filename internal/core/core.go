@@ -32,6 +32,8 @@
 package core
 
 import (
+	"sort"
+
 	"mtsim/internal/packet"
 	"mtsim/internal/routing"
 	"mtsim/internal/sim"
@@ -73,6 +75,23 @@ type Config struct {
 	DiscoveryTimeout sim.Duration
 	SendBufCap       int
 	SendBufAge       sim.Duration
+
+	// Disperse rotates each outgoing data packet across all currently
+	// usable disjoint paths (deterministic round-robin in path-ID order)
+	// instead of pinning the flow to the single current best path — the
+	// route-dispersal half of the data-shuffling countermeasure
+	// (internal/countermeasure). Off reproduces the paper's §III-E
+	// single-current-path behaviour exactly.
+	Disperse bool
+	// AwarePenalty, when positive, enables adversary-aware path
+	// selection: a checking round's nominated (fastest) path is re-scored
+	// against every usable alternative by the share of this source's data
+	// its first hop has already carried, minus AwarePenalty for the
+	// nominee; the minimum score wins. Relays that have seen a large
+	// share of the flow are thereby avoided using only the source's own
+	// forwarding observations — no oracle knowledge of taps. 0 disables
+	// (paper behaviour, bit-identical).
+	AwarePenalty float64
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -164,6 +183,15 @@ type srcState struct {
 	// pendingSwitch defers a round's switch decision by SwitchMargin so
 	// the current path can defend its place (see Config.SwitchMargin).
 	pendingSwitch *sim.Event
+	// sent counts data packets handed to each first hop (lazily
+	// allocated; drives the AwarePenalty usage-skew scores), rotate is
+	// the Disperse round-robin cursor, and scratch is the reused backing
+	// array for usablePathIDs (dispersal runs per data packet — it must
+	// not allocate per send).
+	sent      map[packet.NodeID]uint64
+	sentTotal uint64
+	rotate    int
+	scratch   []int
 }
 
 // storedPath is the destination's record of one disjoint path.
@@ -199,6 +227,10 @@ type Stats struct {
 	PathsStored  uint64
 	PathsDeleted uint64
 	RERRsSent    uint64
+	// AwareOverrides counts checking rounds where the usage-skew policy
+	// (Config.AwarePenalty) moved the flow off the nominated fastest path
+	// onto a less-exposed one.
+	AwareOverrides uint64
 }
 
 // Router is one node's MTS instance.
@@ -247,6 +279,104 @@ func (r *Router) usable(sp *srcPath) bool {
 		return false
 	}
 	return r.env.Scheduler().Now().Sub(sp.lastHeard) <= r.staleAfter()
+}
+
+// usablePathIDs returns every currently usable path's ID in ascending
+// order — the deterministic iteration base for dispersal rotation and
+// aware re-scoring (map order must never leak into behaviour). The
+// returned slice aliases ss.scratch and is valid until the next call.
+func (r *Router) usablePathIDs(ss *srcState) []int {
+	ids := ss.scratch[:0]
+	for id, sp := range ss.paths {
+		if r.usable(sp) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	ss.scratch = ids
+	return ids
+}
+
+// pickDataPath chooses the path for one outgoing data packet: the current
+// path under the paper's policy, or — with Config.Disperse — the next
+// usable path in a round-robin over ascending path IDs, so consecutive
+// segments of the flow ride different disjoint paths and no single tapped
+// relay observes a contiguous stretch of the stream. With AwarePenalty
+// also set, the rotation becomes usage-balanced: each packet takes the
+// usable path whose first hop has carried the fewest of our data packets,
+// which keeps exposure even when the usable set churns (a path that was
+// briefly alone stops hogging the flow the moment alternatives return).
+func (r *Router) pickDataPath(ss *srcState) (int, *srcPath, bool) {
+	if r.cfg.Disperse {
+		if ids := r.usablePathIDs(ss); len(ids) > 0 {
+			id := ids[ss.rotate%len(ids)]
+			if r.cfg.AwarePenalty > 0 {
+				id = ids[0]
+				for _, cand := range ids[1:] {
+					if ss.sent[ss.paths[cand].next] < ss.sent[ss.paths[id].next] {
+						id = cand
+					}
+				}
+			}
+			ss.rotate++
+			return id, ss.paths[id], true
+		}
+	}
+	sp := ss.paths[ss.current]
+	if !r.usable(sp) {
+		return 0, nil, false
+	}
+	return ss.current, sp, true
+}
+
+// noteDataSend records which first hop carried one of our data packets —
+// the observation base for the usage-skew scores. Only kept when the
+// aware policy is on, so the paper-configuration hot path stays
+// allocation-free.
+func (r *Router) noteDataSend(ss *srcState, next packet.NodeID) {
+	if r.cfg.AwarePenalty <= 0 {
+		return
+	}
+	if ss.sent == nil {
+		ss.sent = make(map[packet.NodeID]uint64)
+	}
+	ss.sent[next]++
+	ss.sentTotal++
+}
+
+// switchTarget applies the adversary-aware re-scoring to a checking
+// round's nominated (first-arrival) path: every usable path is scored by
+// the share of this source's data its first hop has already carried, the
+// nominee gets an AwarePenalty head start for being fastest, and the
+// minimum score wins (ties in favour of the nominee, then the lower ID).
+// With the policy off — or before any data has been sent — the nominee
+// wins unconditionally, which is the paper's §III-E rule.
+func (r *Router) switchTarget(ss *srcState, nominated int) int {
+	if r.cfg.AwarePenalty <= 0 || ss.sentTotal == 0 {
+		return nominated
+	}
+	nom := ss.paths[nominated]
+	if !r.usable(nom) {
+		return nominated
+	}
+	share := func(sp *srcPath) float64 {
+		return float64(ss.sent[sp.next]) / float64(ss.sentTotal)
+	}
+	best, bestScore := nominated, share(nom)-r.cfg.AwarePenalty
+	for _, id := range r.usablePathIDs(ss) {
+		if id == nominated {
+			continue
+		}
+		// Strict improvement only: ties keep the nominee, then the
+		// lowest alternative ID (the scan is in ascending ID order).
+		if score := share(ss.paths[id]); score < bestScore {
+			best, bestScore = id, score
+		}
+	}
+	if best != nominated {
+		r.Stats.AwareOverrides++
+	}
+	return best
 }
 
 // New creates an MTS router bound to env.

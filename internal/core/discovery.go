@@ -34,9 +34,10 @@ func (r *Router) Send(p *packet.Packet) {
 			r.failPath(p.Dst, ss.current)
 		}
 		if ss.haveRoute {
-			if sp := ss.paths[ss.current]; r.usable(sp) {
-				p.PathID = ss.current
+			if id, sp, ok := r.pickDataPath(ss); ok {
+				p.PathID = id
 				r.ar.StartTrail(p, self)
+				r.noteDataSend(ss, sp.next)
 				r.env.SendMac(p, sp.next)
 				return
 			}
@@ -277,13 +278,24 @@ func (r *Router) completeDiscovery(dst packet.NodeID) {
 	if ss == nil || !ss.haveRoute {
 		return
 	}
-	sp := ss.paths[ss.current]
-	if sp == nil || !sp.alive {
+	if sp := ss.paths[ss.current]; sp == nil || !sp.alive {
 		return
 	}
-	for _, q := range r.buffer.Pop(dst) {
-		q.PathID = ss.current
+	popped := r.buffer.Pop(dst)
+	for i, q := range popped {
+		id, sp, ok := r.pickDataPath(ss)
+		if !ok {
+			// No usable path after all: Pop removed every packet, so
+			// everything not yet sent must go back in the buffer or it
+			// would leak out of the arena ledger.
+			for _, rest := range popped[i:] {
+				r.buffer.Push(dst, rest)
+			}
+			return
+		}
+		q.PathID = id
 		r.ar.StartTrail(q, r.env.ID())
+		r.noteDataSend(ss, sp.next)
 		r.env.SendMac(q, sp.next)
 	}
 }

@@ -1,0 +1,285 @@
+// Package countermeasure is the defender-side mirror of
+// internal/adversary: pluggable countermeasures that reduce what an
+// eavesdropping adversary can reconstruct from the traffic it intercepts.
+// Where the adversary subsystem generalizes the paper's lone tap into
+// coalitions, mobile taps and dropping relays, this package models the two
+// defences the related work proposes on top of multipath routing:
+//
+//   - Data shuffling (the Shuffling baseline of PAPERS.md, arXiv
+//     1307.4076): outgoing TCP segments are buffered into small blocks at
+//     the source and released in a permuted order drawn from a
+//     deterministic per-node RNG; combined with per-packet dispersal
+//     across MTS's disjoint paths (core.Config.Disperse), a tapped relay
+//     no longer observes a contiguous byte stream — the intercepted
+//     DataIDs fragment into short runs the attacker cannot reassemble.
+//     Measured by the intercepted-contiguity metrics in
+//     metrics.RunMetrics (InterceptedLongestRun and friends).
+//
+//   - Adversary-aware MTS (in the spirit of security-aware routing, arXiv
+//     1609.02288): a path-selection policy that penalises routes through
+//     relays that have already carried a large share of this source's
+//     data (core.Config.AwarePenalty). The heuristic uses only the
+//     source's own forwarding observations — no oracle knowledge of where
+//     the taps sit — and caps the worst-case single-relay exposure
+//     (Fig. 7's highest interception ratio).
+//
+// Invariants: the zero Spec attaches nothing, derives no RNG stream and
+// perturbs no bit of a legacy run. Shuffling never creates or destroys
+// packets — it releases exactly the segments it claimed, a permutation
+// per block (property-tested) — and every segment still buffered at the
+// run horizon is handed back to the arena by Retire, keeping the
+// leak-accounting ledger closed.
+package countermeasure
+
+import (
+	"fmt"
+
+	"mtsim/internal/sim"
+)
+
+// Model names accepted in Spec.Model.
+const (
+	// ModelNone is the explicit no-countermeasure baseline (what the zero
+	// Spec and the paper's scenarios run).
+	ModelNone = "none"
+	// ModelShuffle is data shuffling: permuted block release at the
+	// source plus per-packet dispersal across MTS's disjoint paths.
+	ModelShuffle = "shuffle"
+	// ModelAware is adversary-aware MTS path selection: checking-round
+	// switches are re-scored by each path's observed forwarding share.
+	ModelAware = "aware"
+	// ModelShuffleAware combines both defences.
+	ModelShuffleAware = "shuffle+aware"
+)
+
+// Models lists every selectable countermeasure model.
+func Models() []string {
+	return []string{ModelNone, ModelShuffle, ModelAware, ModelShuffleAware}
+}
+
+// Spec declares a countermeasure in a scenario configuration. The zero
+// Spec means "no countermeasure" — the paper's undefended baseline.
+type Spec struct {
+	// Model selects the defence; empty means ModelNone.
+	Model string
+	// Depth is the shuffle block size in segments; 0 means 8.
+	Depth int
+	// Hold is how long a partial shuffle block waits for more segments
+	// before being flushed anyway; 0 means 25 ms.
+	Hold sim.Duration
+	// Penalty is the aware policy's usage-skew weight: the nominated
+	// (fastest) path loses a switch only to a path whose first-hop
+	// forwarding share is more than Penalty lower. 0 means 0.15.
+	Penalty float64
+}
+
+// IsZero reports whether the spec is the all-default no-countermeasure
+// baseline.
+func (s Spec) IsZero() bool {
+	return s.Model == "" && s.Depth == 0 && s.Hold == 0 && s.Penalty == 0
+}
+
+// EffectiveModel resolves an empty Model to ModelNone.
+func (s Spec) EffectiveModel() string {
+	if s.Model == "" {
+		return ModelNone
+	}
+	return s.Model
+}
+
+// Shuffles reports whether the spec asks for data shuffling.
+func (s Spec) Shuffles() bool {
+	m := s.EffectiveModel()
+	return m == ModelShuffle || m == ModelShuffleAware
+}
+
+// Aware reports whether the spec asks for adversary-aware path selection.
+func (s Spec) Aware() bool {
+	m := s.EffectiveModel()
+	return m == ModelAware || m == ModelShuffleAware
+}
+
+// EffectiveDepth returns the shuffle block size the spec asks for.
+func (s Spec) EffectiveDepth() int {
+	if s.Depth <= 0 {
+		return 8
+	}
+	return s.Depth
+}
+
+// EffectiveHold returns the partial-block flush timeout.
+func (s Spec) EffectiveHold() sim.Duration {
+	if s.Hold <= 0 {
+		return 25 * sim.Millisecond
+	}
+	return s.Hold
+}
+
+// EffectivePenalty returns the aware policy's usage-skew weight.
+func (s Spec) EffectivePenalty() float64 {
+	if s.Penalty <= 0 {
+		return 0.15
+	}
+	return s.Penalty
+}
+
+// Validate rejects knobs the selected model would silently ignore — a
+// shuffle experiment mistyped as "aware" must fail loudly, not report
+// undefended contiguity numbers (the same contract adversary.Build
+// enforces for DropRate/Interval).
+func (s Spec) Validate() error {
+	switch m := s.EffectiveModel(); m {
+	case ModelNone:
+		if s.Depth != 0 || s.Hold != 0 || s.Penalty != 0 {
+			return fmt.Errorf("countermeasure: model %q takes no tuning knobs", m)
+		}
+	case ModelShuffle:
+		if s.Penalty != 0 {
+			return fmt.Errorf("countermeasure: Penalty applies to %q/%q only, not %q",
+				ModelAware, ModelShuffleAware, m)
+		}
+	case ModelAware:
+		if s.Depth != 0 || s.Hold != 0 {
+			return fmt.Errorf("countermeasure: Depth/Hold apply to %q/%q only, not %q",
+				ModelShuffle, ModelShuffleAware, m)
+		}
+	case ModelShuffleAware:
+	default:
+		return fmt.Errorf("countermeasure: unknown model %q", s.Model)
+	}
+	return nil
+}
+
+// Label is the spec's canonical sweep-axis identity: "none", "shuffle×8"
+// (model × block depth), "aware@p0.15", "shuffle+aware×8@p0.15" —
+// explicitly set knobs appended so differently tuned specs never collapse
+// into one aggregation cell. It names cells and table rows.
+func (s Spec) Label() string {
+	m := s.EffectiveModel()
+	lbl := m
+	if s.Shuffles() {
+		lbl += fmt.Sprintf("×%d", s.EffectiveDepth())
+		if s.Hold > 0 {
+			lbl += fmt.Sprintf("@%gms", s.Hold.Seconds()*1000)
+		}
+	}
+	if s.Aware() && s.Penalty > 0 {
+		lbl += fmt.Sprintf("@p%g", s.Penalty)
+	}
+	return lbl
+}
+
+// Countermeasure is one attached defence, reporting per-run accounting
+// after the simulation has run. The aware policy's effect is counted by
+// the MTS router itself (core.Stats.AwareOverrides); this interface
+// carries the shuffling side, which lives outside the routing protocol.
+type Countermeasure interface {
+	// Model returns the model name (ModelShuffle etc.).
+	Model() string
+	// Shuffled returns the number of segments released in permuted order.
+	Shuffled() uint64
+	// Blocks returns the number of shuffle blocks flushed.
+	Blocks() uint64
+	// Retire hands every segment still buffered at the run horizon back
+	// to the arena (leak accounting; see packet.Arena). Idempotent.
+	Retire()
+}
+
+// Passive is a countermeasure with no shuffling machinery outside the
+// routing protocol: the explicit ModelNone baseline, or ModelAware, whose
+// whole effect lives in the MTS router's path selection. It still carries
+// the model name so run metrics label the cell correctly.
+type Passive struct{ model string }
+
+// None is the no-countermeasure baseline.
+func None() Passive { return Passive{model: ModelNone} }
+
+// Model implements Countermeasure.
+func (p Passive) Model() string {
+	if p.model == "" {
+		return ModelNone
+	}
+	return p.model
+}
+
+// Shuffled implements Countermeasure.
+func (Passive) Shuffled() uint64 { return 0 }
+
+// Blocks implements Countermeasure.
+func (Passive) Blocks() uint64 { return 0 }
+
+// Retire implements Countermeasure.
+func (Passive) Retire() {}
+
+// Build attaches the spec's defence to the given traffic source nodes
+// (already selected by the scenario builder: the distinct flow sources).
+// rng is the countermeasure's own derived stream — per-node shuffle
+// streams are derived from it by stable labels, so attaching a defender
+// perturbs nothing but what it is modelled to perturb. It may be nil for
+// models that need no randomness (aware-only, none).
+//
+// Note the aware half of a spec is not built here: it is a path-selection
+// policy inside the MTS router, enabled by the scenario builder through
+// core.Config.AwarePenalty. Build wires what lives outside the protocol.
+func Build(spec Spec, sources []Host, rng *sim.RNG) (Countermeasure, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.Shuffles() {
+		return Passive{model: spec.EffectiveModel()}, nil
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("countermeasure: no traffic source nodes to shuffle at")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("countermeasure: model %q needs an RNG stream", spec.EffectiveModel())
+	}
+	s := &Shuffling{model: spec.EffectiveModel()}
+	for _, h := range sources {
+		sh := NewShuffler(h, rng.Derive(fmt.Sprintf("shuffle/%d", h.ID())),
+			spec.EffectiveDepth(), spec.EffectiveHold())
+		s.shufflers = append(s.shufflers, sh)
+	}
+	return s, nil
+}
+
+// Shuffling is the built data-shuffling defence: one Shuffler per traffic
+// source node (plus, for MTS, the dispersal the scenario builder enables
+// in the router configuration).
+type Shuffling struct {
+	model     string
+	shufflers []*Shuffler
+}
+
+// Model implements Countermeasure.
+func (s *Shuffling) Model() string { return s.model }
+
+// Shuffled implements Countermeasure.
+func (s *Shuffling) Shuffled() uint64 {
+	var n uint64
+	for _, sh := range s.shufflers {
+		n += sh.Shuffled
+	}
+	return n
+}
+
+// Blocks implements Countermeasure.
+func (s *Shuffling) Blocks() uint64 {
+	var n uint64
+	for _, sh := range s.shufflers {
+		n += sh.Blocks
+	}
+	return n
+}
+
+// Retire implements Countermeasure.
+func (s *Shuffling) Retire() {
+	for _, sh := range s.shufflers {
+		sh.Retire()
+	}
+}
+
+var (
+	_ Countermeasure = Passive{}
+	_ Countermeasure = (*Shuffling)(nil)
+)

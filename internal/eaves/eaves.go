@@ -15,8 +15,9 @@ import (
 type Eavesdropper struct {
 	ID packet.NodeID
 
-	seen  map[uint64]bool // distinct logical payloads (DataID)
-	union map[uint64]bool // shared coalition union, nil for a lone tap
+	seen   map[uint64]bool // distinct logical payloads (DataID)
+	union  map[uint64]bool // shared coalition union, nil for a lone tap
+	stream *StreamTracker  // shared in-order contiguity view, may be nil
 
 	// Frames counts every overheard data frame, including duplicates and
 	// retransmissions.
@@ -25,18 +26,22 @@ type Eavesdropper struct {
 
 // Attach installs an eavesdropper tap on the given node.
 func Attach(n *node.Node) *Eavesdropper {
-	return AttachShared(n, nil)
+	return AttachShared(n, nil, nil)
 }
 
 // AttachShared installs an eavesdropper tap that additionally records every
 // intercepted DataID into union, a set shared by colluding eavesdroppers:
 // the coalition's Pe is the union of distinct payloads over all members
-// (internal/adversary). A nil union makes it a lone tap, exactly Attach.
-func AttachShared(n *node.Node, union map[uint64]bool) *Eavesdropper {
+// (internal/adversary). stream, when non-nil, observes the same
+// interception sequence (first hearings of union-new payloads, in
+// interception order) for the in-order contiguity metrics. A nil union
+// makes it a lone tap, exactly Attach.
+func AttachShared(n *node.Node, union map[uint64]bool, stream *StreamTracker) *Eavesdropper {
 	e := &Eavesdropper{
-		ID:    n.ID(),
-		seen:  make(map[uint64]bool),
-		union: union,
+		ID:     n.ID(),
+		seen:   make(map[uint64]bool),
+		union:  union,
+		stream: stream,
 	}
 	n.AddTap(e.tap)
 	return e
@@ -58,14 +63,112 @@ func (e *Eavesdropper) tap(f *packet.Frame) {
 		return
 	}
 	e.Frames++
-	e.seen[f.Payload.DataID] = true
+	id := f.Payload.DataID
 	if e.union != nil {
-		e.union[f.Payload.DataID] = true
+		if !e.union[id] {
+			e.union[id] = true
+			if e.stream != nil {
+				e.stream.Note(id)
+			}
+		}
+	} else if !e.seen[id] && e.stream != nil {
+		e.stream.Note(id)
 	}
+	e.seen[id] = true
 }
 
 // Distinct returns Pe: the number of distinct data packets intercepted.
 func (e *Eavesdropper) Distinct() uint64 { return uint64(len(e.seen)) }
+
+// Contiguity analyses this tap's intercepted set; see the package-level
+// Contiguity.
+func (e *Eavesdropper) Contiguity() (longest, contiguous uint64) {
+	return Contiguity(e.seen)
+}
+
+// ContigStats summarises both contiguity views of an interception: the
+// set view (what the attacker could reassemble from everything it ever
+// intercepted, in any order — an upper bound on recoverable stream spans)
+// and the stream view (how much arrived already in consecutive order —
+// what a tapped relay reads off the air without reassembly buffering).
+// Data shuffling attacks the stream view directly — block permutation
+// scrambles the interception order — and the set view only where
+// dispersal keeps whole segments out of the tap's radio range.
+type ContigStats struct {
+	LongestRun uint64 // longest run of consecutive DataIDs in the set
+	RunPkts    uint64 // packets in set runs of length ≥ 2
+	StreamRun  uint64 // longest streak heard in consecutive ascending order
+	StreamPkts uint64 // packets in such in-order streaks of length ≥ 2
+}
+
+// StreamTracker accumulates the stream view online: Note is called once
+// per first interception of each distinct DataID, in interception order,
+// and extends or breaks the current in-order consecutive streak.
+type StreamTracker struct {
+	last   uint64
+	streak uint64
+	// Longest is the longest in-order consecutive streak observed.
+	Longest uint64
+	// Contig counts packets inside in-order streaks of length ≥ 2.
+	Contig uint64
+}
+
+// Note observes the next first-time-intercepted DataID.
+func (t *StreamTracker) Note(id uint64) {
+	if t.streak > 0 && id == t.last+1 {
+		t.streak++
+		if t.streak == 2 {
+			t.Contig += 2
+		} else {
+			t.Contig++
+		}
+	} else {
+		t.streak = 1
+	}
+	t.last = id
+	if t.streak > t.Longest {
+		t.Longest = t.streak
+	}
+}
+
+// Stats folds the set view of seen together with a tracker's stream view.
+// A nil tracker contributes zeros.
+func Stats(seen map[uint64]bool, stream *StreamTracker) ContigStats {
+	longest, contig := Contiguity(seen)
+	cs := ContigStats{LongestRun: longest, RunPkts: contig}
+	if stream != nil {
+		cs.StreamRun = stream.Longest
+		cs.StreamPkts = stream.Contig
+	}
+	return cs
+}
+
+// Contiguity measures how much of an intercepted DataID set an attacker
+// could reassemble into an unbroken byte stream: the length of the longest
+// run of consecutive DataIDs, and the total number of IDs belonging to any
+// run of length ≥ 2 (isolated packets reveal a segment, not a stream).
+// TCP assigns consecutive DataIDs to consecutive segments, so runs in ID
+// space are contiguous spans of the flow's payload. This is the metric the
+// data-shuffling countermeasure (internal/countermeasure) attacks: it
+// leaves Pe roughly unchanged but fragments the runs.
+func Contiguity(seen map[uint64]bool) (longest, contiguous uint64) {
+	for id := range seen {
+		if id > 0 && seen[id-1] {
+			continue // not the start of a maximal run
+		}
+		n := uint64(1)
+		for seen[id+n] {
+			n++
+		}
+		if n > longest {
+			longest = n
+		}
+		if n >= 2 {
+			contiguous += n
+		}
+	}
+	return longest, contiguous
+}
 
 // Ratio returns the interception ratio Ri = Pe / Pr (Eq. 1) given the
 // number of distinct packets that arrived at the destination.

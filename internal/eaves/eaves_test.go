@@ -114,3 +114,64 @@ func TestEavesdropperSeesRelayedTraffic(t *testing.T) {
 		t.Fatal("packet addressed to eavesdropper not counted")
 	}
 }
+
+func TestContiguitySetView(t *testing.T) {
+	set := func(ids ...uint64) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, id := range ids {
+			m[id] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name            string
+		seen            map[uint64]bool
+		longest, contig uint64
+	}{
+		{"empty", set(), 0, 0},
+		{"singleton", set(5), 1, 0},
+		{"isolated", set(1, 3, 5, 9), 1, 0},
+		{"one-run", set(4, 5, 6, 7), 4, 4},
+		{"two-runs", set(1, 2, 10, 11, 12, 20), 3, 5},
+		{"from-one", set(1, 2, 3), 3, 3},
+	}
+	for _, tc := range cases {
+		longest, contig := Contiguity(tc.seen)
+		if longest != tc.longest || contig != tc.contig {
+			t.Errorf("%s: Contiguity = (%d, %d), want (%d, %d)",
+				tc.name, longest, contig, tc.longest, tc.contig)
+		}
+	}
+}
+
+func TestStreamTrackerInOrderView(t *testing.T) {
+	var tr StreamTracker
+	// Heard: 1,2,3 (streak 3), then 7, then 8 (streak 2), then 5 (break:
+	// 5 is not 8+1 even though the set now holds 1,2,3,5,7,8).
+	for _, id := range []uint64{1, 2, 3, 7, 8, 5} {
+		tr.Note(id)
+	}
+	if tr.Longest != 3 {
+		t.Errorf("Longest = %d, want 3", tr.Longest)
+	}
+	if tr.Contig != 5 { // 1,2,3 and 7,8
+		t.Errorf("Contig = %d, want 5", tr.Contig)
+	}
+	// A permuted stream yields no streaks at all.
+	var perm StreamTracker
+	for _, id := range []uint64{4, 1, 3, 6, 2, 5} {
+		perm.Note(id)
+	}
+	if perm.Longest != 1 || perm.Contig != 0 {
+		t.Errorf("permuted stream: Longest=%d Contig=%d, want 1, 0", perm.Longest, perm.Contig)
+	}
+	// Stats folds both views.
+	seen := map[uint64]bool{1: true, 2: true, 3: true}
+	cs := Stats(seen, &tr)
+	if cs.LongestRun != 3 || cs.RunPkts != 3 || cs.StreamRun != 3 || cs.StreamPkts != 5 {
+		t.Errorf("Stats = %+v", cs)
+	}
+	if cs := Stats(seen, nil); cs.StreamRun != 0 || cs.StreamPkts != 0 {
+		t.Errorf("nil tracker leaked stream stats: %+v", cs)
+	}
+}

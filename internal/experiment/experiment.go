@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/metrics"
 	"mtsim/internal/runcache"
 	"mtsim/internal/scenario"
@@ -49,6 +50,12 @@ type Sweep struct {
 	// runs the base configuration's adversary and leaves the cell keys'
 	// Adversary field blank, preserving the paper's plain sweep.
 	Adversaries []adversary.Spec
+	// Countermeasures is the optional defender axis (none / shuffle /
+	// aware / shuffle+aware). Empty runs the base configuration's
+	// countermeasure and leaves the cell keys' Countermeasure field
+	// blank. Crossed with Adversaries it forms the defender-vs-attacker
+	// grid behind experiments -only countermeasure.
+	Countermeasures []countermeasure.Spec
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
 	// Cache, when non-nil, short-circuits every grid cell whose result is
@@ -84,12 +91,15 @@ func PaperSweep(base scenario.Config) Sweep {
 	}
 }
 
-// CellKey identifies one aggregation cell. Adversary is the Spec label
-// ("coalition×4"); it stays "" when the sweep has no adversary axis.
+// CellKey identifies one aggregation cell. Adversary is the
+// adversary.Spec label ("coalition×4") and Countermeasure the
+// countermeasure.Spec label ("shuffle×8"); each stays "" when the sweep
+// has no such axis.
 type CellKey struct {
-	Protocol  string
-	Speed     float64
-	Adversary string
+	Protocol       string
+	Speed          float64
+	Adversary      string
+	Countermeasure string
 }
 
 // Result holds the outcome of a sweep: every run indexed by cell (unless
@@ -137,10 +147,47 @@ func (s Sweep) advAxis() ([]adversary.Spec, []string) {
 	return s.Adversaries, labels
 }
 
+// cmAxis is advAxis's defender twin: the declared Countermeasures, or a
+// single entry reproducing the base configuration's countermeasure under
+// the blank label, with the same collision-suffix discipline.
+func (s Sweep) cmAxis() ([]countermeasure.Spec, []string) {
+	if len(s.Countermeasures) == 0 {
+		return []countermeasure.Spec{s.Base.Countermeasure}, []string{""}
+	}
+	labels := make([]string, len(s.Countermeasures))
+	counts := make(map[string]int, len(s.Countermeasures))
+	for i, c := range s.Countermeasures {
+		l := c.Label()
+		counts[l]++
+		if n := counts[l]; n > 1 {
+			l = fmt.Sprintf("%s#%d", l, n)
+		}
+		labels[i] = l
+	}
+	return s.Countermeasures, labels
+}
+
+// AdversaryLabels returns the adversary axis's canonical cell labels in
+// axis order — Spec labels plus the "#n" collision suffixes the engine
+// keys cells with. Renderers taking a label parameter (CountermeasureTable
+// and friends) must be fed these, not re-derived Spec.Label()s, or a
+// sweep with colliding specs would query cells that do not exist.
+func (s Sweep) AdversaryLabels() []string {
+	_, labels := s.advAxis()
+	return labels
+}
+
+// CountermeasureLabels is AdversaryLabels for the defender axis.
+func (s Sweep) CountermeasureLabels() []string {
+	_, labels := s.cmAxis()
+	return labels
+}
+
 // allFigures returns every built-in figure definition; the engine distills
 // each completed run into one value per entry.
 func allFigures() []Figure {
-	return append(PaperFigures(), AdversaryFigures()...)
+	figs := append(PaperFigures(), AdversaryFigures()...)
+	return append(figs, CountermeasureFigures()...)
 }
 
 // runRecord is the distilled form of one completed run: just its seed (the
@@ -164,6 +211,7 @@ func (s Sweep) Run() (*Result, error) {
 		cfg scenario.Config
 	}
 	specs, labels := s.advAxis()
+	cmSpecs, cmLabels := s.cmAxis()
 	figs := allFigures()
 	res := &Result{
 		Sweep: s,
@@ -191,25 +239,28 @@ func (s Sweep) Run() (*Result, error) {
 	for _, p := range s.Protocols {
 		for _, v := range s.Speeds {
 			for a := range specs {
-				for r := 0; r < s.Reps; r++ {
-					cfg := s.Base
-					cfg.Protocol = p
-					cfg.MaxSpeed = v
-					cfg.Adversary = specs[a]
-					cfg.Seed = s.SeedBase + int64(r)
-					key := CellKey{Protocol: p, Speed: v, Adversary: labels[a]}
-					if s.Cache != nil {
-						if m, ok := s.Cache.Get(cfg); ok {
-							res.CacheHits++
-							record(key, m)
-							if s.OnRun != nil {
-								s.OnRun(m)
+				for c := range cmSpecs {
+					for r := 0; r < s.Reps; r++ {
+						cfg := s.Base
+						cfg.Protocol = p
+						cfg.MaxSpeed = v
+						cfg.Adversary = specs[a]
+						cfg.Countermeasure = cmSpecs[c]
+						cfg.Seed = s.SeedBase + int64(r)
+						key := CellKey{Protocol: p, Speed: v, Adversary: labels[a], Countermeasure: cmLabels[c]}
+						if s.Cache != nil {
+							if m, ok := s.Cache.Get(cfg); ok {
+								res.CacheHits++
+								record(key, m)
+								if s.OnRun != nil {
+									s.OnRun(m)
+								}
+								continue
 							}
-							continue
+							res.CacheMisses++
 						}
-						res.CacheMisses++
+						jobs = append(jobs, job{key: key, cfg: cfg})
 					}
-					jobs = append(jobs, job{key: key, cfg: cfg})
 				}
 			}
 		}
@@ -250,8 +301,8 @@ func (s Sweep) Run() (*Result, error) {
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("%s speed=%g adversary=%q seed=%d: %w",
-							j.key.Protocol, j.key.Speed, j.key.Adversary, j.cfg.Seed, err)
+						firstErr = fmt.Errorf("%s speed=%g adversary=%q countermeasure=%q seed=%d: %w",
+							j.key.Protocol, j.key.Speed, j.key.Adversary, j.key.Countermeasure, j.cfg.Seed, err)
 					}
 					mu.Unlock()
 					abort()
@@ -371,13 +422,20 @@ func (r *Result) defaultAdversary() string {
 	return labels[0]
 }
 
+// defaultCountermeasure is defaultAdversary's defender twin: the
+// Countermeasure label single-axis renderers aggregate over.
+func (r *Result) defaultCountermeasure() string {
+	_, labels := r.Sweep.cmAxis()
+	return labels[0]
+}
+
 // Series returns the per-speed means for one protocol, in Speeds order.
 // Like Mean, it needs retained runs (custom extractors cannot be served
 // from the per-figure aggregates).
 func (r *Result) Series(proto string, metric func(*metrics.RunMetrics) float64) []float64 {
 	out := make([]float64, 0, len(r.Sweep.Speeds))
 	for _, v := range r.Sweep.Speeds {
-		out = append(out, r.Mean(CellKey{Protocol: proto, Speed: v, Adversary: r.defaultAdversary()}, metric))
+		out = append(out, r.Mean(CellKey{Protocol: proto, Speed: v, Adversary: r.defaultAdversary(), Countermeasure: r.defaultCountermeasure()}, metric))
 	}
 	return out
 }
@@ -399,7 +457,7 @@ func (r *Result) Table(fig Figure) string {
 	for _, v := range r.Sweep.Speeds {
 		fmt.Fprintf(&b, "%-14g", v)
 		for _, p := range r.Sweep.Protocols {
-			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary()}
+			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary(), Countermeasure: r.defaultCountermeasure()}
 			mean, ci := r.figMeanCI(key, fig)
 			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
 		}
@@ -420,7 +478,7 @@ func (r *Result) CSV(fig Figure) string {
 	for _, v := range r.Sweep.Speeds {
 		fmt.Fprintf(&b, "%g", v)
 		for _, p := range r.Sweep.Protocols {
-			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary()}
+			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary(), Countermeasure: r.defaultCountermeasure()}
 			mean, ci := r.figMeanCI(key, fig)
 			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
 		}
@@ -449,13 +507,81 @@ func (r *Result) AdversaryTable(fig Figure, speed float64) string {
 	for i := range specs {
 		fmt.Fprintf(&b, "%-18s", labels[i])
 		for _, p := range r.Sweep.Protocols {
-			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i]}
+			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i], Countermeasure: r.defaultCountermeasure()}
 			mean, ci := r.figMeanCI(key, fig)
 			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
 		}
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// CountermeasureTable renders one metric of the defender axis at a fixed
+// MAXSPEED under one adversary label as an aligned text table: one row
+// per countermeasure (in axis order), one column per protocol, mean ± 95%
+// CI — the defender-vs-attacker view (how much does each defence claw
+// back from this adversary).
+func (r *Result) CountermeasureTable(fig Figure, speed float64, advLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s", fig.ID, fig.Title)
+	if fig.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", fig.Unit)
+	}
+	fmt.Fprintf(&b, " at %g m/s vs %s\n", speed, advOrBase(advLabel))
+	fmt.Fprintf(&b, "%-20s", "countermeasure")
+	for _, p := range r.Sweep.Protocols {
+		fmt.Fprintf(&b, "%20s", p)
+	}
+	b.WriteString("\n")
+	specs, labels := r.Sweep.cmAxis()
+	for i := range specs {
+		fmt.Fprintf(&b, "%-20s", cmOrBase(labels[i]))
+		for _, p := range r.Sweep.Protocols {
+			key := CellKey{Protocol: p, Speed: speed, Adversary: advLabel, Countermeasure: labels[i]}
+			mean, ci := r.figMeanCI(key, fig)
+			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CountermeasureCSV renders the defender axis at a fixed MAXSPEED and
+// adversary label as CSV (countermeasure label, then mean and ci per
+// protocol).
+func (r *Result) CountermeasureCSV(fig Figure, speed float64, advLabel string) string {
+	var b strings.Builder
+	b.WriteString("countermeasure")
+	for _, p := range r.Sweep.Protocols {
+		fmt.Fprintf(&b, ",%s_mean,%s_ci95", p, p)
+	}
+	b.WriteString("\n")
+	specs, labels := r.Sweep.cmAxis()
+	for i := range specs {
+		b.WriteString(cmOrBase(labels[i]))
+		for _, p := range r.Sweep.Protocols {
+			key := CellKey{Protocol: p, Speed: speed, Adversary: advLabel, Countermeasure: labels[i]}
+			mean, ci := r.figMeanCI(key, fig)
+			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// advOrBase and cmOrBase render the blank no-axis label readably.
+func advOrBase(label string) string {
+	if label == "" {
+		return "base adversary"
+	}
+	return label
+}
+
+func cmOrBase(label string) string {
+	if label == "" {
+		return "base"
+	}
+	return label
 }
 
 // AdversaryCSV renders the adversary axis at a fixed MAXSPEED as CSV
@@ -471,7 +597,7 @@ func (r *Result) AdversaryCSV(fig Figure, speed float64) string {
 	for i := range specs {
 		b.WriteString(labels[i])
 		for _, p := range r.Sweep.Protocols {
-			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i]}
+			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i], Countermeasure: r.defaultCountermeasure()}
 			mean, ci := r.figMeanCI(key, fig)
 			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
 		}

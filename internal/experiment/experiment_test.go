@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/geo"
 	"mtsim/internal/metrics"
 	"mtsim/internal/packet"
@@ -172,6 +173,97 @@ func TestSweepAdversaryAxis(t *testing.T) {
 	}
 	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 4 {
 		t.Fatalf("adversary csv rows:\n%s", csv)
+	}
+}
+
+func TestSweepCountermeasureAxis(t *testing.T) {
+	// The golden-fixture scenario rather than quickBase: the full 50-node
+	// field at seed 5 reliably routes the flow through relays the
+	// coalition overhears, so the undefended cell has non-zero contiguity
+	// for the comparison below.
+	base := scenario.DefaultConfig()
+	base.Duration = 12 * sim.Second
+	base.TCPStart = sim.Time(2 * sim.Second)
+	s := Sweep{
+		Base:      base,
+		Protocols: []string{"MTS"},
+		Speeds:    []float64{10},
+		Reps:      2,
+		SeedBase:  5,
+		Adversaries: []adversary.Spec{
+			{Model: adversary.ModelCoalition, K: 2},
+		},
+		Countermeasures: []countermeasure.Spec{
+			{},
+			{Model: countermeasure.ModelShuffle},
+			{Model: countermeasure.ModelShuffleAware},
+		},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("cells = %d, want one per countermeasure", len(res.Runs))
+	}
+	advLabel := s.Adversaries[0].Label()
+	for _, spec := range s.Countermeasures {
+		key := CellKey{Protocol: "MTS", Speed: 10, Adversary: advLabel, Countermeasure: spec.Label()}
+		runs := res.Runs[key]
+		if len(runs) != 2 {
+			t.Fatalf("cell %v has %d runs, want 2", key, len(runs))
+		}
+		for _, m := range runs {
+			if m.CountermeasureModel != spec.EffectiveModel() {
+				t.Fatalf("cell %v run reports model %q", key, m.CountermeasureModel)
+			}
+			if spec.Shuffles() && m.ShuffledSegments == 0 {
+				t.Fatalf("cell %v shuffled nothing", key)
+			}
+		}
+	}
+	// Defender rows render for every countermeasure figure, and the
+	// shuffle rows move the contiguity metric.
+	fig, ok := FigureByID("cmStreamBytes")
+	if !ok {
+		t.Fatal("cmStreamBytes figure missing")
+	}
+	table := res.CountermeasureTable(fig, 10, advLabel)
+	for _, want := range []string{"none", "shuffle×8", "shuffle+aware×8"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("countermeasure table lacks row %q:\n%s", want, table)
+		}
+	}
+	csv := res.CountermeasureCSV(fig, 10, advLabel)
+	if !strings.HasPrefix(csv, "countermeasure,MTS_mean,MTS_ci95\n") {
+		t.Fatalf("countermeasure CSV header malformed:\n%s", csv)
+	}
+	baseKey := CellKey{Protocol: "MTS", Speed: 10, Adversary: advLabel, Countermeasure: "none"}
+	shufKey := CellKey{Protocol: "MTS", Speed: 10, Adversary: advLabel, Countermeasure: "shuffle×8"}
+	if res.FigMean(baseKey, fig) == 0 {
+		t.Fatal("undefended cell intercepted no contiguous bytes; comparison proves nothing")
+	}
+	if res.FigMean(shufKey, fig) >= res.FigMean(baseKey, fig) {
+		t.Errorf("shuffle cell mean contiguous bytes %.0f not below baseline %.0f",
+			res.FigMean(shufKey, fig), res.FigMean(baseKey, fig))
+	}
+}
+
+// TestCountermeasureFiguresComplete: every countermeasure figure must be
+// resolvable by ID and carry a metric extractor.
+func TestCountermeasureFiguresComplete(t *testing.T) {
+	figs := CountermeasureFigures()
+	if len(figs) == 0 {
+		t.Fatal("no countermeasure figures")
+	}
+	for _, f := range figs {
+		got, ok := FigureByID(f.ID)
+		if !ok {
+			t.Errorf("FigureByID(%q) missed", f.ID)
+		}
+		if got.Metric == nil {
+			t.Errorf("figure %s has no metric", f.ID)
+		}
 	}
 }
 

@@ -111,8 +111,53 @@ func AdversaryFigures() []Figure {
 	}
 }
 
+// CountermeasureFigures returns the defender-side extension figures
+// (internal/countermeasure): how much of the intercepted stream remains
+// reassemblable once data shuffling fragments it, and what the defences
+// cost. Together with advRi/advDeliv they form the defender-vs-attacker
+// grid of experiments -only countermeasure.
+func CountermeasureFigures() []Figure {
+	return []Figure{
+		{
+			ID:     "cmStreamRun",
+			Title:  "Longest in-order intercepted streak",
+			Unit:   "packets",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.InterceptedStreamRun) },
+			Expect: "Shuffling collapses streaks toward the block size's reciprocal; undefended TCP streams for hundreds of packets.",
+		},
+		{
+			ID:     "cmStreamBytes",
+			Title:  "Intercepted contiguous bytes as heard (in-order streaks ≥ 2 × payload)",
+			Unit:   "bytes",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.InterceptedStreamBytes) },
+			Expect: "Shuffling lowest at equal delivery rate — the committed defender-vs-attacker claim.",
+		},
+		{
+			ID:     "cmStreamRatio",
+			Title:  "Stream contiguity ratio (in-order intercepted packets / Pe)",
+			Unit:   "fraction",
+			Metric: func(m *metrics.RunMetrics) float64 { return m.InterceptedStreamRatio },
+			Expect: "Near 1 undefended (TCP emits in order); drops sharply under shuffle.",
+		},
+		{
+			ID:     "cmReasmRun",
+			Title:  "Longest reassemblable run (set view, offline reordering allowed)",
+			Unit:   "packets",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.InterceptedLongestRun) },
+			Expect: "Moves only where dispersal keeps whole segments out of the taps' radio range.",
+		},
+		{
+			ID:     "cmShuffled",
+			Title:  "Segments released in permuted order",
+			Unit:   "packets",
+			Metric: func(m *metrics.RunMetrics) float64 { return float64(m.ShuffledSegments) },
+			Expect: "Zero for none/aware; tracks SegmentsSent for shuffle models.",
+		},
+	}
+}
+
 // FigureByID finds a figure definition, searching the paper's figures and
-// the adversary extension figures.
+// the adversary/countermeasure extension figures.
 func FigureByID(id string) (Figure, bool) {
 	for _, f := range PaperFigures() {
 		if f.ID == id {
@@ -120,6 +165,11 @@ func FigureByID(id string) (Figure, bool) {
 		}
 	}
 	for _, f := range AdversaryFigures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	for _, f := range CountermeasureFigures() {
 		if f.ID == id {
 			return f, true
 		}

@@ -161,6 +161,29 @@ type RunMetrics struct {
 	AdversaryDropped  uint64 // data packets discarded by dropping relays
 	AdversaryMembers  []AdversaryMember
 
+	// Countermeasure metrics (internal/countermeasure): how much of the
+	// adversary's union Pe forms contiguous stretches of the flow's byte
+	// stream, and the defender's own accounting. Contiguity is measured
+	// over consecutive DataIDs (consecutive TCP segments), in two views:
+	// the set view ("Run"/"Contig" fields — what the attacker could
+	// reassemble offline from everything intercepted, an upper bound) and
+	// the stream view ("Stream" fields — what it heard already in
+	// consecutive ascending order, the byte stream a tapped relay reads
+	// off the air). Data shuffling scrambles the interception order, so
+	// it collapses the stream view directly and dents the set view only
+	// where dispersal keeps segments out of radio range entirely.
+	CountermeasureModel    string
+	InterceptedLongestRun  uint64  // set view: longest consecutive-DataID run in union Pe
+	InterceptedContigPkts  uint64  // set view: intercepted packets inside runs of length ≥ 2
+	InterceptedContigBytes uint64  // InterceptedContigPkts × payload bytes
+	InterceptedContigRatio float64 // InterceptedContigPkts / Pe (0 when Pe = 0)
+	InterceptedStreamRun   uint64  // stream view: longest in-order consecutive streak
+	InterceptedStreamPkts  uint64  // stream view: packets in in-order streaks ≥ 2
+	InterceptedStreamBytes uint64  // InterceptedStreamPkts × payload bytes
+	InterceptedStreamRatio float64 // InterceptedStreamPkts / Pe (0 when Pe = 0)
+	ShuffledSegments       uint64  // segments released in permuted order
+	ShuffleBlocks          uint64  // shuffle blocks flushed
+
 	// TCP metrics (Figs. 8–11).
 	AvgDelaySec    float64
 	ThroughputPps  float64 // distinct data packets delivered per second

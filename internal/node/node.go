@@ -50,6 +50,13 @@ type Node struct {
 	// routing drop with reason "adversary"). Adversarial relay models
 	// (blackhole/grayhole) install it; legitimate nodes leave it nil.
 	DropFilter func(p *packet.Packet, next packet.NodeID) bool
+
+	// OriginateFilter, when set, intercepts every locally generated packet
+	// before the routing protocol sees it; returning true means the filter
+	// took ownership (the data-shuffling countermeasure buffers segments
+	// here and releases them later through Inject). Defensive mirror of
+	// DropFilter; ordinary nodes leave it nil.
+	OriginateFilter func(p *packet.Packet) bool
 }
 
 // FrameTap is implemented by routing protocols that listen promiscuously
@@ -99,6 +106,11 @@ func (n *Node) SetProtocol(p routing.Protocol) {
 	}
 }
 
+// InstallOriginateFilter sets OriginateFilter (countermeasure.Host).
+func (n *Node) InstallOriginateFilter(f func(p *packet.Packet) bool) {
+	n.OriginateFilter = f
+}
+
 // AddTap registers a promiscuous frame listener (eavesdropper, snooping
 // protocols, trace writers). Multiple listeners are supported.
 func (n *Node) AddTap(h func(f *packet.Frame)) {
@@ -113,8 +125,19 @@ func (n *Node) AddTap(h func(f *packet.Frame)) {
 }
 
 // Originate hands a locally generated packet to the routing protocol;
-// transport endpoints call this (tcp.Network interface).
+// transport endpoints call this (tcp.Network interface). An installed
+// OriginateFilter may claim the packet first.
 func (n *Node) Originate(p *packet.Packet) {
+	if n.OriginateFilter != nil && n.OriginateFilter(p) {
+		return
+	}
+	n.Inject(p)
+}
+
+// Inject hands a packet directly to the routing protocol, bypassing any
+// OriginateFilter — the re-entry point a countermeasure uses to release
+// packets it previously claimed from Originate.
+func (n *Node) Inject(p *packet.Packet) {
 	if n.Proto != nil {
 		n.Proto.Send(p)
 		return

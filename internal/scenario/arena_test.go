@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/packet"
 	"mtsim/internal/sim"
 )
@@ -84,6 +85,52 @@ func TestArenaLeakAccountingAllProtocols(t *testing.T) {
 				assertArenaClean(t, s.Arena)
 			})
 		}
+	}
+}
+
+// TestArenaLeakAccountingCountermeasures extends the leak suite over the
+// defender axis: the shuffler claims packets out of the originate path
+// and owns them until Inject or Retire, so every (protocol, defence)
+// pairing must still close the arena ledger. Shuffle runs cover the
+// claim/inject path on all five protocols; the MTS-only rows cover
+// aware-dispersal; the slow-hold row retires a scenario whose shuffle
+// blocks are still buffered at the horizon.
+func TestArenaLeakAccountingCountermeasures(t *testing.T) {
+	cases := []struct {
+		name  string
+		proto string
+		spec  countermeasure.Spec
+	}{
+		{"dsr/shuffle+aware", "DSR", countermeasure.Spec{Model: countermeasure.ModelShuffleAware}},
+		{"aodv/shuffle+aware", "AODV", countermeasure.Spec{Model: countermeasure.ModelShuffleAware}},
+		{"mts/shuffle+aware", "MTS", countermeasure.Spec{Model: countermeasure.ModelShuffleAware}},
+		{"smr/shuffle+aware", "SMR", countermeasure.Spec{Model: countermeasure.ModelShuffleAware}},
+		{"smr-backup/shuffle+aware", "SMR-BACKUP", countermeasure.Spec{Model: countermeasure.ModelShuffleAware}},
+		{"mts/shuffle", "MTS", countermeasure.Spec{Model: countermeasure.ModelShuffle}},
+		{"mts/aware", "MTS", countermeasure.Spec{Model: countermeasure.ModelAware}},
+		// A hold longer than the residual run strands part-filled blocks
+		// in the shuffler at the horizon; Retire must release them.
+		{"mts/stranded-blocks", "MTS", countermeasure.Spec{
+			Model: countermeasure.ModelShuffle, Depth: 64, Hold: 2 * sim.Second}},
+	}
+	ctx := NewContext()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := arenaLeakConfig(tc.proto)
+			cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, K: 2}
+			cfg.Countermeasure = tc.spec
+			s, err := ctx.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Arena.Check = true
+			m := s.Run()
+			if m.SegmentsSent == 0 {
+				t.Fatalf("no traffic generated; leak accounting proved nothing")
+			}
+			s.Retire()
+			assertArenaClean(t, s.Arena)
+		})
 	}
 }
 

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"testing"
+
+	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
+	"mtsim/internal/sim"
+)
+
+// cmConfig is the defender-vs-attacker scenario the acceptance claim is
+// measured on: the paper's 50-node field, MTS, a coalition of two
+// colluding taps, 60 simulated seconds (long enough for several checking
+// rounds and thousands of segments).
+func cmConfig(model string) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = "MTS"
+	cfg.MaxSpeed = 10
+	cfg.Duration = 60 * sim.Second
+	cfg.Seed = 7
+	cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, K: 2}
+	if model != "" {
+		cfg.Countermeasure = countermeasure.Spec{Model: model}
+	}
+	return cfg
+}
+
+// TestShuffleReducesStreamContiguity is the committed defender-vs-attacker
+// claim (mirrored by the golden fixtures mts-coalition.json vs
+// mts-coalition-shuffle.json): data shuffling cuts the contiguous byte
+// stream the coalition hears to less than half the undefended baseline,
+// at equal delivery rate, while still intercepting plenty of packets (the
+// defence starves the attacker of contiguity, not the sink of data).
+func TestShuffleReducesStreamContiguity(t *testing.T) {
+	ctx := NewContext()
+	base, err := ctx.RunOne(cmConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuf, err := ctx.RunOne(cmConfig(countermeasure.ModelShuffle))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.CoalitionDistinct == 0 || shuf.CoalitionDistinct == 0 {
+		t.Fatalf("coalition intercepted nothing (base Pe=%d, shuffle Pe=%d)",
+			base.CoalitionDistinct, shuf.CoalitionDistinct)
+	}
+	if shuf.ShuffledSegments == 0 || shuf.ShuffleBlocks == 0 {
+		t.Fatalf("shuffle run released no permuted segments (%d in %d blocks)",
+			shuf.ShuffledSegments, shuf.ShuffleBlocks)
+	}
+	if base.ShuffledSegments != 0 {
+		t.Fatalf("baseline run reports %d shuffled segments", base.ShuffledSegments)
+	}
+	if shuf.InterceptedStreamBytes*2 >= base.InterceptedStreamBytes {
+		t.Errorf("shuffling did not halve the intercepted contiguous bytes: %d vs baseline %d",
+			shuf.InterceptedStreamBytes, base.InterceptedStreamBytes)
+	}
+	if shuf.InterceptedStreamRun*10 >= base.InterceptedStreamRun {
+		t.Errorf("longest in-order streak barely moved: %d vs baseline %d",
+			shuf.InterceptedStreamRun, base.InterceptedStreamRun)
+	}
+	// "At equal delivery rate": the defence must not pay for contiguity
+	// with reliability.
+	if diff := shuf.DeliveryRate - base.DeliveryRate; diff < -0.02 {
+		t.Errorf("shuffling cost %.3f delivery rate (%.3f vs %.3f)",
+			-diff, shuf.DeliveryRate, base.DeliveryRate)
+	}
+	if base.InterceptedStreamRatio < 0.9 {
+		t.Errorf("undefended stream ratio %.3f — baseline should hand the tap an in-order stream",
+			base.InterceptedStreamRatio)
+	}
+	if shuf.InterceptedStreamRatio > 0.6 {
+		t.Errorf("defended stream ratio %.3f — shuffle should fragment the stream", shuf.InterceptedStreamRatio)
+	}
+}
+
+// TestAwarePolicyActs: the usage-skew policy must observably act (override
+// at least one nominated switch) and report its model in the metrics.
+func TestAwarePolicyActs(t *testing.T) {
+	m, err := RunOne(cmConfig(countermeasure.ModelAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CountermeasureModel != countermeasure.ModelAware {
+		t.Fatalf("metrics label the run %q", m.CountermeasureModel)
+	}
+	if m.Extra["awareOverrides"] == 0 {
+		t.Error("aware policy never overrode a nominated switch in 60 s")
+	}
+	if m.ShuffledSegments != 0 {
+		t.Errorf("aware-only run shuffled %d segments", m.ShuffledSegments)
+	}
+}
+
+// TestShuffleReassemblyAtSink: end to end, shuffling must be transparent
+// to the destination — the sink reassembles the permuted stream back into
+// the exact segment sequence, with at most a tail of segments still in
+// flight (or in a part-filled block) at the horizon.
+func TestShuffleReassemblyAtSink(t *testing.T) {
+	cfg := cmConfig(countermeasure.ModelShuffle)
+	s, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Run()
+	if len(s.Sinks) != 1 {
+		t.Fatalf("expected 1 sink, have %d", len(s.Sinks))
+	}
+	sink := s.Sinks[0]
+	if sink.Stats.Distinct < 500 {
+		t.Fatalf("only %d distinct segments delivered; reassembly proved little", sink.Stats.Distinct)
+	}
+	// Every distinct arrival below the in-order frontier is reassembled by
+	// construction; the gap between Distinct and the frontier is segments
+	// stranded out-of-order at the cut. It must be bounded by what can be
+	// concurrently in flight (send window + one shuffle block), not grow
+	// with the transfer: a hole the sender never repaired would drag the
+	// frontier arbitrarily far behind.
+	frontier := uint64(sink.Stats.HighestInOrder + 1)
+	inFlight := uint64(cfg.TCP.MaxWindow) + 8
+	if sink.Stats.Distinct > frontier+inFlight {
+		t.Errorf("reassembly frontier %d lags %d distinct arrivals by more than window+block (%d)",
+			frontier, sink.Stats.Distinct, inFlight)
+	}
+	if m.SegmentsSent < m.Distinct {
+		t.Errorf("more distinct deliveries (%d) than segments sent (%d)", m.Distinct, m.SegmentsSent)
+	}
+}
+
+// TestCountermeasureSpecRejected: invalid specs must fail scenario
+// construction loudly, like adversary knob mismatches do.
+func TestCountermeasureSpecRejected(t *testing.T) {
+	bad := []countermeasure.Spec{
+		{Model: "jam"},
+		{Depth: 4},
+		{Model: countermeasure.ModelAware, Depth: 4},
+	}
+	for _, spec := range bad {
+		cfg := DefaultConfig()
+		cfg.Duration = sim.Duration(sim.Second)
+		cfg.Countermeasure = spec
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("Build accepted invalid countermeasure spec %+v", spec)
+		}
+	}
+}
+
+// TestCountermeasureDeterminism: a defended run is as deterministic as an
+// undefended one — identical config and seed, byte-identical metrics,
+// through both the fresh-build and reused-context paths.
+func TestCountermeasureDeterminism(t *testing.T) {
+	for _, model := range []string{countermeasure.ModelShuffle, countermeasure.ModelShuffleAware} {
+		cfg := cmConfig(model)
+		cfg.Duration = 20 * sim.Second
+		fresh := metricsJSON(t, cfg, Build)
+		ctx := NewContext()
+		reused := metricsJSON(t, cfg, ctx.Build)
+		if string(fresh) != string(reused) {
+			t.Errorf("%s: context-built run diverges from fresh build", model)
+		}
+		again := metricsJSON(t, cfg, Build)
+		if string(fresh) != string(again) {
+			t.Errorf("%s: same seed, different metrics", model)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/metrics"
 	"mtsim/internal/sim"
 )
@@ -43,6 +45,38 @@ func goldenConfig(proto string) Config {
 	return cfg
 }
 
+// goldenCase names one locked fixture: the five plain protocol runs plus
+// the defender-vs-attacker MTS trio (coalition baseline, shuffle, aware),
+// whose committed numbers are the review artefact for the countermeasure
+// subsystem — the shuffle fixture's InterceptedContigBytes against the
+// coalition baseline's is the paper-claim evidence.
+type goldenCase struct {
+	name string
+	cfg  Config
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, proto := range AllProtocols() {
+		cases = append(cases, goldenCase{strings.ToLower(proto), goldenConfig(proto)})
+	}
+	coalition := func() Config {
+		cfg := goldenConfig("MTS")
+		cfg.Adversary = adversary.Spec{Model: adversary.ModelCoalition, K: 2}
+		return cfg
+	}
+	base := coalition()
+	shuffle := coalition()
+	shuffle.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelShuffle}
+	aware := coalition()
+	aware.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelAware}
+	return append(cases,
+		goldenCase{"mts-coalition", base},
+		goldenCase{"mts-coalition-shuffle", shuffle},
+		goldenCase{"mts-coalition-aware", aware},
+	)
+}
+
 // TestGoldenMetrics locks the complete RunMetrics of one fixed-seed run per
 // protocol to committed JSON fixtures. Where TestSameSeedSameMetrics only
 // proves a binary agrees with itself, this fails with a readable field/line
@@ -55,9 +89,9 @@ func TestGoldenMetrics(t *testing.T) {
 	// through fresh builds (RunOne is checked against the context path in
 	// context_test.go).
 	ctx := NewContext()
-	for _, proto := range AllProtocols() {
-		t.Run(proto, func(t *testing.T) {
-			s, err := ctx.Build(goldenConfig(proto))
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ctx.Build(tc.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,7 +108,7 @@ func TestGoldenMetrics(t *testing.T) {
 			}
 			got = append(got, '\n')
 
-			path := filepath.Join("testdata", "golden", strings.ToLower(proto)+".json")
+			path := filepath.Join("testdata", "golden", tc.name+".json")
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)

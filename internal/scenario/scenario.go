@@ -13,6 +13,7 @@ import (
 	"mtsim/internal/adversary"
 	"mtsim/internal/app"
 	"mtsim/internal/core"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/eaves"
 	"mtsim/internal/geo"
 	"mtsim/internal/mac"
@@ -71,6 +72,13 @@ type Config struct {
 	// blackhole/grayhole dropping relays. The zero Spec is the paper's
 	// single random eavesdropper, honouring Eavesdropper above.
 	Adversary adversary.Spec
+
+	// Countermeasure selects the defence (internal/countermeasure): data
+	// shuffling at the traffic sources (with per-packet dispersal across
+	// MTS's disjoint paths), adversary-aware MTS path selection, or both.
+	// The zero Spec is the paper's undefended baseline and perturbs
+	// nothing.
+	Countermeasure countermeasure.Spec
 
 	MAC  mac.Config
 	TCP  tcp.Config
@@ -135,7 +143,10 @@ type Scenario struct {
 	// that are not eavesdropper coalitions.
 	Adversary adversary.Adversary
 	Eaves     *eaves.Eavesdropper
-	Collector *metrics.Collector
+	// Countermeasure is the attached defence (countermeasure.None() for
+	// the undefended baseline).
+	Countermeasure countermeasure.Countermeasure
+	Collector      *metrics.Collector
 	// Arena is the run-scoped packet/frame pool behind the whole data
 	// plane. Tests flip Arena.Check for leak accounting or Arena.Pooling
 	// off for the reference (no-recycling) mode before running.
@@ -149,6 +160,11 @@ type Scenario struct {
 // allocated (Arena.LivePackets()==0): that closure is the leak-detecting
 // harness. The scenario must not be advanced afterwards.
 func (s *Scenario) Retire() {
+	if s.Countermeasure != nil {
+		// Shuffle buffers hold claimed segments outside any node's
+		// custody; release them before the nodes close their books.
+		s.Countermeasure.Retire()
+	}
 	for _, nd := range s.Nodes {
 		nd.Retire()
 	}
@@ -233,6 +249,21 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 		return nil, fmt.Errorf("scenario: unknown protocol %q", cfg.Protocol)
 	}
 
+	// The countermeasure's aware/dispersal halves are MTS path-selection
+	// policy, so they ride in through the router configuration; the
+	// shuffling half attaches to the source nodes after flows are known.
+	cmSpec := cfg.Countermeasure
+	if err := cmSpec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	mtsCfg := cfg.MTS
+	if cmSpec.Shuffles() {
+		mtsCfg.Disperse = true
+	}
+	if cmSpec.Aware() {
+		mtsCfg.AwarePenalty = cmSpec.EffectivePenalty()
+	}
+
 	s := &Scenario{Cfg: cfg}
 	if ctx != nil {
 		s.Sched, s.Channel, s.Collector = ctx.prepare(cfg.RxRange, cfg.CSRange)
@@ -289,7 +320,7 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 		case "AODV":
 			nd.SetProtocol(aodv.New(nd, cfg.AODV))
 		case "MTS":
-			nd.SetProtocol(core.New(nd, cfg.MTS))
+			nd.SetProtocol(core.New(nd, mtsCfg))
 		case "SMR":
 			sc := cfg.SMR
 			sc.Mode = smr.ModeSplit
@@ -444,6 +475,31 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 		s.Eaves = c.Legacy()
 	}
 
+	// Countermeasure. A zero spec derives no RNG stream and attaches
+	// nothing, keeping legacy runs bit-identical; shufflers attach to the
+	// distinct flow sources in flow order.
+	if cmSpec.IsZero() {
+		s.Countermeasure = countermeasure.None()
+	} else {
+		seenSrc := map[packet.NodeID]bool{}
+		var cmHosts []countermeasure.Host
+		for _, f := range flows {
+			if !seenSrc[f.Src] {
+				seenSrc[f.Src] = true
+				cmHosts = append(cmHosts, s.Nodes[f.Src])
+			}
+		}
+		var cmRNG *sim.RNG
+		if cmSpec.Shuffles() {
+			cmRNG = master.Derive("countermeasure")
+		}
+		cm, err := countermeasure.Build(cmSpec, cmHosts, cmRNG)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		s.Countermeasure = cm
+	}
+
 	if ctx != nil {
 		// Hand the (possibly re-grown) node backing array back for the next
 		// build; the Node structs themselves are per-run. Clear the slack
@@ -518,18 +574,33 @@ func (s *Scenario) Gather() *metrics.RunMetrics {
 	m.CoalitionFrames = s.Adversary.Frames()
 	m.AdversaryDropped = s.Adversary.Dropped()
 
+	payload := s.Cfg.TCP.MSS
+	if s.Cfg.Traffic == "cbr" {
+		if payload = s.Cfg.CBRSize; payload <= 0 {
+			payload = 512
+		}
+	}
+	m.CountermeasureModel = s.Countermeasure.Model()
+	m.ShuffledSegments = s.Countermeasure.Shuffled()
+	m.ShuffleBlocks = s.Countermeasure.Blocks()
+	cs := s.Adversary.Contiguity()
+	m.InterceptedLongestRun = cs.LongestRun
+	m.InterceptedContigPkts = cs.RunPkts
+	m.InterceptedContigBytes = cs.RunPkts * uint64(payload)
+	m.InterceptedStreamRun = cs.StreamRun
+	m.InterceptedStreamPkts = cs.StreamPkts
+	m.InterceptedStreamBytes = cs.StreamPkts * uint64(payload)
+	if m.CoalitionDistinct > 0 {
+		m.InterceptedContigRatio = float64(cs.RunPkts) / float64(m.CoalitionDistinct)
+		m.InterceptedStreamRatio = float64(cs.StreamPkts) / float64(m.CoalitionDistinct)
+	}
+
 	if distinct > 0 {
 		m.AvgDelaySec = totalDelay.Seconds() / float64(distinct)
 	}
 	active := s.Cfg.Duration - sim.Duration(s.Cfg.TCPStart)
 	if active > 0 {
 		m.ThroughputPps = float64(distinct) / active.Seconds()
-		payload := s.Cfg.TCP.MSS
-		if s.Cfg.Traffic == "cbr" {
-			if payload = s.Cfg.CBRSize; payload <= 0 {
-				payload = 512
-			}
-		}
 		m.ThroughputKbps = m.ThroughputPps * float64(payload) * 8 / 1000
 	}
 	if segments > 0 {
@@ -544,6 +615,7 @@ func (s *Scenario) Gather() *metrics.RunMetrics {
 		case *core.Router:
 			m.Extra["discoveries"] += p.Stats.Discoveries
 			m.Extra["switches"] += p.Stats.Switches
+			m.Extra["awareOverrides"] += p.Stats.AwareOverrides
 		case *aodv.Router:
 			m.Extra["discoveries"] += p.Discoveries
 		case *dsr.Router:

@@ -35,6 +35,7 @@ import (
 	"io"
 
 	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/experiment"
 	"mtsim/internal/geo"
 	"mtsim/internal/metrics"
@@ -84,6 +85,23 @@ const (
 
 // AdversaryModels lists every selectable adversary model.
 func AdversaryModels() []string { return adversary.Models() }
+
+// CountermeasureSpec declares a defence for Config.Countermeasure: data
+// shuffling at the traffic sources (with per-packet dispersal across
+// MTS's disjoint paths), adversary-aware MTS path selection, or both.
+// The zero Spec is the paper's undefended baseline.
+type CountermeasureSpec = countermeasure.Spec
+
+// Countermeasure model names for CountermeasureSpec.Model.
+const (
+	CountermeasureNone         = countermeasure.ModelNone
+	CountermeasureShuffle      = countermeasure.ModelShuffle
+	CountermeasureAware        = countermeasure.ModelAware
+	CountermeasureShuffleAware = countermeasure.ModelShuffleAware
+)
+
+// CountermeasureModels lists every selectable countermeasure model.
+func CountermeasureModels() []string { return countermeasure.Models() }
 
 // Sweep declares a protocol × speed × repetition experiment grid.
 type Sweep = experiment.Sweep
@@ -182,6 +200,11 @@ func PaperFigures() []Figure { return experiment.PaperFigures() }
 // AdversaryFigures returns the extension figures for adversary sweeps
 // (coalition interception ratio, union Pe, adversarial drops, delivery).
 func AdversaryFigures() []Figure { return experiment.AdversaryFigures() }
+
+// CountermeasureFigures returns the defender-side extension figures
+// (intercepted stream contiguity, reassemblable runs, shuffle accounting)
+// for defender-vs-attacker grids (Sweep.Countermeasures).
+func CountermeasureFigures() []Figure { return experiment.CountermeasureFigures() }
 
 // FigureByID looks up a figure definition ("fig5" … "fig11").
 func FigureByID(id string) (Figure, bool) { return experiment.FigureByID(id) }

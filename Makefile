@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-smoke sweep-demo clean
+.PHONY: build test test-race test-chaos vet bench bench-smoke sweep-demo clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,14 @@ test:
 # worker pool; this keeps the aggregation path provably race-clean).
 test-race:
 	$(GO) test -race ./...
+
+# Fault-injection lane: the seeded chaos suite (internal/faultinject),
+# plain and under the race detector — sweeps under injected panics,
+# watchdog kills, and torn cache writes must aggregate bit-identically
+# to fault-free sweeps (docs/ARCHITECTURE.md "Failure semantics").
+test-chaos:
+	$(GO) test -v ./internal/faultinject/
+	$(GO) test -race ./internal/faultinject/
 
 # Full benchmark suite; see PERFORMANCE.md for methodology.
 bench:

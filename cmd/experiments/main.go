@@ -38,6 +38,16 @@
 //
 // The cache applies to the sweep artefacts (figures, adversary grids);
 // -only table1 and -only timeseries are single runs and always execute.
+//
+// Fault-tolerant sweeps (see internal/experiment): -keep-going completes
+// the healthy grid and records failed cells instead of cancelling on the
+// first failure (exit status 3, with a failed-cell summary on stderr, if
+// any cell ultimately failed); -max-retries re-attempts failed cells
+// (same seed — a retry is byte-identical to a clean run); -run-timeout
+// and -run-events arm the per-run watchdog against hung and livelocked
+// simulations; -journal appends one JSONL record per attempt:
+//
+//	experiments -keep-going -max-retries 2 -run-timeout 5m -journal attempts.jsonl -out results
 package main
 
 import (
@@ -80,11 +90,24 @@ func main() {
 			"bypass -cache-dir entirely: every cell is recomputed and nothing is read from or written to the cache")
 		resume = flag.Bool("resume", false,
 			"resume an interrupted sweep from -cache-dir (asserts a cache is in use; completed cells are never recomputed)")
+		keepGoing = flag.Bool("keep-going", false,
+			"complete the healthy grid and record failed cells instead of cancelling the sweep on the first failure; exit status 3 if any cell ultimately failed")
+		maxRetries = flag.Int("max-retries", 0,
+			"re-attempts per failed cell before giving up on it (same configuration and seed: a retry is byte-identical to a clean run)")
+		runTimeout = flag.Duration("run-timeout", 0,
+			"wall-clock watchdog per run (e.g. 5m): hung runs are killed cleanly and count as failed cells (0 = unlimited)")
+		runEvents = flag.Uint64("run-events", 0,
+			"simulated-event watchdog budget per run: livelocked runs are killed cleanly (0 = unlimited)")
+		journalPath = flag.String("journal", "",
+			"append one JSONL record per run attempt (successes, failures, cache hits) to this file")
 	)
 	flag.Parse()
 
 	if *resume && (*cacheDir == "" || *noCache) {
 		fail(fmt.Errorf("-resume needs -cache-dir (and is incompatible with -no-cache): resumption works by serving completed cells from the cache"))
+	}
+	if *maxRetries < 0 {
+		fail(fmt.Errorf("-max-retries must be >= 0"))
 	}
 
 	base := mtsim.DefaultConfig()
@@ -136,10 +159,26 @@ func main() {
 	sweep.Parallelism = *parallel
 	sweep.Protocols = splitList(*protocols)
 	sweep.Speeds = parseSpeeds(*speeds)
+	var cache *mtsim.RunCache
 	if *cacheDir != "" && !*noCache {
-		cache, err := mtsim.OpenRunCache(*cacheDir)
+		var err error
+		cache, err = mtsim.OpenRunCache(*cacheDir)
 		fail(err)
 		sweep.Cache = cache
+	}
+	sweep.KeepGoing = *keepGoing
+	sweep.Watchdog = mtsim.Watchdog{MaxEvents: *runEvents, WallClock: *runTimeout}
+	if *maxRetries > 0 {
+		sweep.Retry = mtsim.RetryPolicy{
+			MaxAttempts: *maxRetries + 1,
+			Backoff:     time.Second,
+			MaxBackoff:  30 * time.Second,
+		}
+	}
+	if *journalPath != "" {
+		j, err := mtsim.OpenJournal(*journalPath)
+		fail(err)
+		sweep.Journal = j
 	}
 
 	if *only == "adversary" {
@@ -207,7 +246,32 @@ func main() {
 		// An error signal, not progress output: never silenced by -q. A
 		// sweep whose results failed to checkpoint will recompute them on
 		// resume.
-		fmt.Fprintf(os.Stderr, "warning: %d results could not be written to the cache\n", res.CachePutErrs)
+		fmt.Fprintf(os.Stderr, "warning: %d results could not be written to the cache", res.CachePutErrs)
+		if res.CacheFirstPutErr != nil {
+			fmt.Fprintf(os.Stderr, " (first: %v)", res.CacheFirstPutErr)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if cache != nil {
+		if h := cache.Health(); h != (mtsim.CacheHealth{}) {
+			fmt.Fprintf(os.Stderr, "warning: cache degraded: %d corrupt entries quarantined (under %s/quarantine), %d erroring reads, %d stale-version misses\n",
+				h.Quarantined, *cacheDir, h.DegradedReads, h.StaleMisses)
+		}
+	}
+	// conclude runs after the artefacts are rendered: a sweep that lost
+	// cells prints the post-mortem summary on stderr and exits non-zero so
+	// scripts and CI notice the degraded results.
+	conclude := func() {
+		if sweep.Journal != nil {
+			sweep.Journal.Close()
+		}
+		if len(res.Failed) == 0 {
+			return
+		}
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, res.FailedSummary())
+		fmt.Fprintf(os.Stderr, "results above are degraded: %d runs failed every attempt\n", len(res.Failed))
+		os.Exit(3)
 	}
 
 	if *only == "countermeasure" {
@@ -237,6 +301,7 @@ func main() {
 			fmt.Println()
 		}
 		writeFile(*outDir, "countermeasure.txt", md.String())
+		conclude()
 		return
 	}
 
@@ -257,6 +322,7 @@ func main() {
 			fmt.Println()
 		}
 		writeFile(*outDir, "adversary.txt", md.String())
+		conclude()
 		return
 	}
 
@@ -280,6 +346,7 @@ func main() {
 		writeFile(*outDir, "table1.txt", out)
 		writeFile(*outDir, "figures.txt", md.String())
 	}
+	conclude()
 }
 
 func splitList(s string) []string {

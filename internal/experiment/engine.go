@@ -1,0 +1,594 @@
+package experiment
+
+// This file is the fault-tolerance layer of the sweep engine: per-cell
+// panic isolation, deterministic retries under a RetryPolicy, the run
+// watchdog, KeepGoing degradation with per-cell failure records, and the
+// append-only JSONL attempt journal. The simulator is deterministic, so
+// a retry of a failed cell under the same configuration and seed is
+// byte-identical to a never-failed run — fault tolerance here costs zero
+// correctness, and internal/faultinject proves it with a seeded chaos
+// suite.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mtsim/internal/metrics"
+	"mtsim/internal/scenario"
+	"mtsim/internal/stats"
+)
+
+// RetryPolicy bounds the attempts the engine makes on a failed cell.
+// Because the simulator is deterministic, retries re-run the exact same
+// configuration and seed: they exist to absorb environmental failures
+// (a hung machine tripping the watchdog, a worker panic from a resource
+// edge, injected chaos), never to change results. The zero policy means
+// one attempt — no retries — which is the pre-fault-tolerance behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per cell (first try
+	// included); values below 1 mean 1.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further
+	// attempt doubles it (capped exponential, no jitter — the backoff
+	// sequence is as deterministic as the runs themselves). Zero means
+	// immediate retries.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 means uncapped.
+	MaxBackoff time.Duration
+	// Sleep, when set, replaces time.Sleep for the backoff waits (tests
+	// and chaos suites substitute a recorder or a no-op). It may be
+	// called from multiple worker goroutines.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the backoff before the attempt following the given
+// number of failures (1 failure → Backoff, 2 → 2×Backoff, …, capped).
+func (p RetryPolicy) Delay(failures int) time.Duration {
+	if p.Backoff <= 0 || failures < 1 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d <= 0 { // overflow
+			d = 1<<63 - 1
+			break
+		}
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+func (p RetryPolicy) sleep(failures int) {
+	d := p.Delay(failures)
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Watchdog is the per-run deadline pair the engine applies to every
+// simulated cell: a simulated-event budget that catches livelocked runs
+// and a wall-clock budget that catches hung ones. A tripped watchdog
+// kills the cell cleanly (the scenario is retired mid-run, the worker's
+// context stays reusable) and counts as a failed attempt with kind
+// KindTimeout. The zero Watchdog is unlimited.
+type Watchdog struct {
+	MaxEvents uint64        // simulated-event budget per run; 0 = unlimited
+	WallClock time.Duration // wall-clock budget per run; 0 = unlimited
+}
+
+// Runner executes one cell attempt on a worker's reusable context. It is
+// the engine's injection seam: internal/faultinject wraps the default
+// runner to panic, error, or squeeze the watchdog budget on selected
+// cells. A Runner must honour the watchdog (DefaultRunner does) and must
+// leave the context reusable on every non-panic return.
+type Runner func(ctx *scenario.Context, cfg scenario.Config, w Watchdog) (*metrics.RunMetrics, error)
+
+// DefaultRunner builds cfg on the context, runs it under the watchdog,
+// and retires the scenario so the arena's books are closed whether the
+// run completed or was killed.
+func DefaultRunner(ctx *scenario.Context, cfg scenario.Config, w Watchdog) (*metrics.RunMetrics, error) {
+	s, err := ctx.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.RunWatched(scenario.Budget{MaxEvents: w.MaxEvents, WallClock: w.WallClock})
+	if err != nil {
+		return nil, err // RunWatched already retired the scenario
+	}
+	s.Retire()
+	return m, nil
+}
+
+// Cache is the engine-facing slice of runcache.Store: result lookup
+// before dispatch, persistence after completion. It is an interface so
+// fault injection (and future remote stores) can stand in for the
+// on-disk implementation; *runcache.Store satisfies it. Implementations
+// must be safe for concurrent use by the sweep's workers.
+type Cache interface {
+	Get(cfg scenario.Config) (*metrics.RunMetrics, bool)
+	Put(cfg scenario.Config, m *metrics.RunMetrics) error
+}
+
+// Attempt failure kinds (Attempt.Kind, AttemptRecord.Outcome).
+const (
+	KindError   = "error"   // the runner returned an ordinary error
+	KindPanic   = "panic"   // the runner panicked; recovered and isolated
+	KindTimeout = "timeout" // the run watchdog killed the cell
+)
+
+// PanicError is a recovered per-cell panic: the panic value plus the
+// stack at the point of the panic, attributed to the cell by the
+// surrounding engine error. Isolating panics this way keeps one
+// poisoned cell from killing a multi-hour sweep.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// errKind classifies a failed attempt for records and the journal.
+func errKind(err error) string {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return KindPanic
+	}
+	var ae *scenario.AbortError
+	if errors.As(err, &ae) {
+		return KindTimeout
+	}
+	return KindError
+}
+
+// Attempt is one failed try at a cell, retained in FailedCell.Attempts
+// as the cell's flake history.
+type Attempt struct {
+	Attempt int    `json:"attempt"` // 1-based
+	Kind    string `json:"kind"`    // KindError, KindPanic or KindTimeout
+	Err     string `json:"error"`
+}
+
+// FailedCell records one run that failed every attempt of a KeepGoing
+// sweep: its cell, seed, the full attempt history, and the final
+// cell-attributed error.
+type FailedCell struct {
+	Key      CellKey
+	Seed     int64
+	Attempts []Attempt
+	Err      error
+}
+
+// AttemptRecord is one line of the JSONL attempt journal: every attempt
+// of every simulated cell (successes included) plus cache hits, with the
+// cell flattened for easy post-mortem filtering. Wall time and event
+// counts are observability data, not results — they never feed the
+// aggregates, so journal contents do not perturb determinism.
+type AttemptRecord struct {
+	Protocol       string  `json:"protocol"`
+	Speed          float64 `json:"speed"`
+	Adversary      string  `json:"adversary,omitempty"`
+	Countermeasure string  `json:"countermeasure,omitempty"`
+	Seed           int64   `json:"seed"`
+	Attempt        int     `json:"attempt"` // 0 for cache hits
+	Outcome        string  `json:"outcome"` // "ok", "cache-hit", KindError, KindPanic, KindTimeout
+	Error          string  `json:"error,omitempty"`
+	Events         uint64  `json:"events,omitempty"` // simulated events (successful runs)
+	WallMS         float64 `json:"wall_ms"`
+}
+
+// Journal is an append-only JSONL log of sweep attempts, safe for
+// concurrent use by the workers. Writes are best-effort — a sick journal
+// never fails a sweep — with the first write error retained for
+// inspection via Err.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	n   int
+	err error
+}
+
+// NewJournal wraps an existing writer (a buffer in tests, a pipe to a
+// log shipper) as an attempt journal.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// OpenJournal opens (creating if needed) an append-mode journal file.
+// Append mode means repeated sweeps over the same journal accumulate —
+// the flake history of a grid spans invocations.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{w: f, c: f}, nil
+}
+
+// Record appends one attempt line.
+func (j *Journal) Record(rec AttemptRecord) {
+	if j == nil {
+		return
+	}
+	doc, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	doc = append(doc, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, werr := j.w.Write(doc); werr != nil {
+		if j.err == nil {
+			j.err = werr
+		}
+		return
+	}
+	j.n++
+}
+
+// Records reports how many lines were successfully appended.
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any (best-effort logging: the
+// sweep itself never fails for a sick journal).
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close closes the underlying file when the journal owns one.
+func (j *Journal) Close() error {
+	if j == nil || j.c == nil {
+		return nil
+	}
+	return j.c.Close()
+}
+
+// job is one grid cell dispatched to the worker pool.
+type job struct {
+	key CellKey
+	cfg scenario.Config
+}
+
+// journalAttempt writes one attempt (or cache hit) to the sweep's
+// journal, if any.
+func (s Sweep) journalAttempt(j job, attempt int, outcome, errMsg string, events uint64, wall time.Duration) {
+	if s.Journal == nil {
+		return
+	}
+	s.Journal.Record(AttemptRecord{
+		Protocol:       j.key.Protocol,
+		Speed:          j.key.Speed,
+		Adversary:      j.key.Adversary,
+		Countermeasure: j.key.Countermeasure,
+		Seed:           j.cfg.Seed,
+		Attempt:        attempt,
+		Outcome:        outcome,
+		Error:          errMsg,
+		Events:         events,
+		WallMS:         float64(wall) / float64(time.Millisecond),
+	})
+}
+
+// cellError attributes a cell's final error with everything a post-mortem
+// needs: protocol, speed, both axis labels, seed, and the attempt count.
+func (s Sweep) cellError(j job, err error, attempts int) error {
+	base := fmt.Errorf("%s speed=%g adversary=%q countermeasure=%q seed=%d: %w",
+		j.key.Protocol, j.key.Speed, j.key.Adversary, j.key.Countermeasure, j.cfg.Seed, err)
+	if attempts > 1 {
+		return fmt.Errorf("%w (after %d attempts)", base, attempts)
+	}
+	return base
+}
+
+// attempt executes one try of a cell with panic isolation: a panic
+// anywhere in the simulator unwinds to here and becomes a *PanicError
+// instead of killing the worker (and with it the whole sweep).
+func (s Sweep) attempt(ctx *scenario.Context, cfg scenario.Config) (m *metrics.RunMetrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	run := s.Runner
+	if run == nil {
+		run = DefaultRunner
+	}
+	return run(ctx, cfg, s.Watchdog)
+}
+
+// runCell drives one cell through the retry policy. The context pointer
+// is replaced with a fresh one after a panic — a panic unwound the
+// simulator mid-run, so the reusable scaffolding is in an unknown state
+// and must not serve another run. Retries use the identical
+// configuration and seed: determinism makes retry ≡ fresh run.
+func (s Sweep) runCell(ctxp **scenario.Context, j job) (*metrics.RunMetrics, []Attempt, error) {
+	max := s.Retry.attempts()
+	var attempts []Attempt
+	var lastErr error
+	for a := 1; a <= max; a++ {
+		start := time.Now()
+		m, err := s.attempt(*ctxp, j.cfg)
+		if err == nil {
+			s.journalAttempt(j, a, "ok", "", m.EventsRun, time.Since(start))
+			return m, attempts, nil
+		}
+		kind := errKind(err)
+		s.journalAttempt(j, a, kind, err.Error(), 0, time.Since(start))
+		lastErr = err
+		attempts = append(attempts, Attempt{Attempt: a, Kind: kind, Err: err.Error()})
+		if kind == KindPanic {
+			*ctxp = scenario.NewContext()
+		}
+		if a < max {
+			s.Retry.sleep(a)
+		}
+	}
+	return nil, attempts, s.cellError(j, lastErr, len(attempts))
+}
+
+// Run executes the sweep. Repetition r uses seed SeedBase+r for every
+// protocol, speed and adversary, pairing the comparisons: identical
+// mobility and traffic endpoints across protocols and threat models.
+//
+// Cells present in Sweep.Cache are served without simulating; the rest
+// are dispatched to a worker pool where each worker reuses one
+// scenario.Context across its runs. Each cell runs under the engine's
+// fault-tolerance layer: panics are isolated into cell-attributed
+// errors, failed cells are retried under Sweep.Retry (same seed — the
+// simulator's determinism makes a retry byte-identical to a clean run),
+// and the Watchdog kills livelocked or hung runs cleanly. Without
+// KeepGoing the first ultimately-failed cell cancels all outstanding
+// jobs and is returned with its attribution; with KeepGoing the sweep
+// degrades gracefully instead, recording every ultimately-failed cell
+// (with its attempt history) in Result.Failed while the rest of the
+// grid completes.
+func (s Sweep) Run() (*Result, error) {
+	specs, labels := s.advAxis()
+	cmSpecs, cmLabels := s.cmAxis()
+	figs := allFigures()
+	res := &Result{
+		Sweep:  s,
+		Runs:   make(map[CellKey][]*metrics.RunMetrics),
+		aggs:   make(map[CellKey]map[string]*stats.Welford),
+		okReps: make(map[CellKey]int),
+		failed: make(map[CellKey]int),
+	}
+	recs := make(map[CellKey][]runRecord)
+	record := func(key CellKey, m *metrics.RunMetrics) {
+		res.okReps[key]++
+		if !s.DiscardRuns {
+			// Retained runs serve the renderers directly; distilling would
+			// be dead weight.
+			res.Runs[key] = append(res.Runs[key], m)
+			return
+		}
+		rec := runRecord{seed: m.Seed, vals: make([]float64, len(figs))}
+		for i := range figs {
+			rec.vals[i] = figs[i].Metric(m)
+		}
+		recs[key] = append(recs[key], rec)
+	}
+
+	// Enumerate the grid, serving cache hits inline and collecting the
+	// cells that actually need simulating.
+	var jobs []job
+	for _, p := range s.Protocols {
+		for _, v := range s.Speeds {
+			for a := range specs {
+				for c := range cmSpecs {
+					for r := 0; r < s.Reps; r++ {
+						cfg := s.Base
+						cfg.Protocol = p
+						cfg.MaxSpeed = v
+						cfg.Adversary = specs[a]
+						cfg.Countermeasure = cmSpecs[c]
+						cfg.Seed = s.SeedBase + int64(r)
+						key := CellKey{Protocol: p, Speed: v, Adversary: labels[a], Countermeasure: cmLabels[c]}
+						if s.Cache != nil {
+							if m, ok := s.Cache.Get(cfg); ok {
+								res.CacheHits++
+								record(key, m)
+								s.journalAttempt(job{key: key, cfg: cfg}, 0, "cache-hit", "", m.EventsRun, 0)
+								if s.OnRun != nil {
+									s.OnRun(m)
+								}
+								continue
+							}
+							res.CacheMisses++
+						}
+						jobs = append(jobs, job{key: key, cfg: cfg})
+					}
+				}
+			}
+		}
+	}
+
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	done := make(chan struct{})
+	var abortOnce sync.Once
+	abort := func() { abortOnce.Do(func() { close(done) }) }
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One reusable simulation context per worker: consecutive runs
+			// reset the scheduler/channel/collector instead of reallocating
+			// them (bit-identical results; see scenario.Context). runCell
+			// replaces it with a fresh one if a panic poisons it.
+			ctx := scenario.NewContext()
+			for j := range jobCh {
+				select {
+				case <-done:
+					continue // sweep aborted: drain without simulating
+				default:
+				}
+				m, attempts, err := s.runCell(&ctx, j)
+				if err != nil {
+					if s.KeepGoing {
+						mu.Lock()
+						res.Failed = append(res.Failed, FailedCell{
+							Key: j.key, Seed: j.cfg.Seed, Attempts: attempts, Err: err,
+						})
+						mu.Unlock()
+						continue
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					abort()
+					continue
+				}
+				if s.Cache != nil {
+					if perr := s.Cache.Put(j.cfg, m); perr != nil {
+						mu.Lock()
+						res.CachePutErrs++
+						if res.CacheFirstPutErr == nil {
+							res.CacheFirstPutErr = perr
+						}
+						mu.Unlock()
+					}
+				}
+				mu.Lock()
+				record(j.key, m)
+				mu.Unlock()
+				if s.OnRun != nil {
+					s.OnRun(m)
+				}
+			}
+		}()
+	}
+	// Feed until done: an abort stops the feeder, so outstanding jobs are
+	// cancelled instead of the grid silently running to completion.
+feed:
+	for _, j := range jobs {
+		select {
+		case jobCh <- j:
+		case <-done:
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Deterministic ordering regardless of worker completion order: runs
+	// sorted by seed, aggregates folded in seed order, failures sorted by
+	// cell then seed.
+	sort.Slice(res.Failed, func(i, j int) bool { return lessFailed(res.Failed[i], res.Failed[j]) })
+	for _, f := range res.Failed {
+		res.failed[f.Key]++
+	}
+	for _, runs := range res.Runs {
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Seed < runs[j].Seed })
+	}
+	for key, rs := range recs {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].seed < rs[j].seed })
+		agg := make(map[string]*stats.Welford, len(figs))
+		for i := range figs {
+			w := &stats.Welford{}
+			for _, rec := range rs {
+				w.Add(rec.vals[i])
+			}
+			agg[figs[i].ID] = w
+		}
+		res.aggs[key] = agg
+	}
+	return res, nil
+}
+
+func lessFailed(a, b FailedCell) bool {
+	if a.Key.Protocol != b.Key.Protocol {
+		return a.Key.Protocol < b.Key.Protocol
+	}
+	if a.Key.Speed != b.Key.Speed {
+		return a.Key.Speed < b.Key.Speed
+	}
+	if a.Key.Adversary != b.Key.Adversary {
+		return a.Key.Adversary < b.Key.Adversary
+	}
+	if a.Key.Countermeasure != b.Key.Countermeasure {
+		return a.Key.Countermeasure < b.Key.Countermeasure
+	}
+	return a.Seed < b.Seed
+}
+
+// FailedReps reports how many repetitions of a cell ultimately failed
+// (0 for a clean cell).
+func (r *Result) FailedReps(key CellKey) int { return r.failed[key] }
+
+// cellAllFailed reports a cell with failures and no surviving runs — the
+// renderers mark it instead of printing a misleading zero.
+func (r *Result) cellAllFailed(key CellKey) bool {
+	return r.failed[key] > 0 && r.okReps[key] == 0
+}
+
+// FailedSummary renders the ultimately-failed cells as an aligned table
+// (cell, seed, attempts, final error), or "" when nothing failed — the
+// post-mortem view cmd/experiments prints before exiting non-zero.
+func (r *Result) FailedSummary() string {
+	if len(r.Failed) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	total := 0
+	for _, n := range r.okReps {
+		total += n
+	}
+	fmt.Fprintf(&b, "FAILED CELLS — %d of %d runs failed every attempt\n",
+		len(r.Failed), total+len(r.Failed))
+	fmt.Fprintf(&b, "%-10s %-8s %-18s %-16s %-6s %-9s %s\n",
+		"protocol", "speed", "adversary", "countermeasure", "seed", "attempts", "final error")
+	for _, f := range r.Failed {
+		fmt.Fprintf(&b, "%-10s %-8g %-18s %-16s %-6d %-9d %s\n",
+			f.Key.Protocol, f.Key.Speed, advOrBase(f.Key.Adversary), cmOrBase(f.Key.Countermeasure),
+			f.Seed, len(f.Attempts), f.Err)
+	}
+	return b.String()
+}

@@ -25,15 +25,11 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
 	"strings"
-	"sync"
 
 	"mtsim/internal/adversary"
 	"mtsim/internal/countermeasure"
 	"mtsim/internal/metrics"
-	"mtsim/internal/runcache"
 	"mtsim/internal/scenario"
 	"mtsim/internal/stats"
 )
@@ -64,7 +60,27 @@ type Sweep struct {
 	// result. Because the store is content-addressed by the full
 	// configuration and seed, this doubles as checkpoint/restore: a killed
 	// sweep re-run with the same cache resumes after its completed cells.
-	Cache *runcache.Store
+	// *runcache.Store is the on-disk implementation; the interface exists
+	// for fault injection and future remote stores.
+	Cache Cache
+	// Retry bounds how often a failed cell is re-attempted (same
+	// configuration and seed — the simulator's determinism makes a retry
+	// byte-identical to a clean run). The zero value means one attempt.
+	Retry RetryPolicy
+	// Watchdog is the per-run deadline pair (simulated-event budget and
+	// wall clock) applied to every simulated cell. The zero value is
+	// unlimited.
+	Watchdog Watchdog
+	// KeepGoing degrades gracefully instead of cancelling on the first
+	// ultimately-failed cell: the failure (with its attempt history) is
+	// recorded in Result.Failed and the rest of the grid completes.
+	KeepGoing bool
+	// Journal, when non-nil, receives one JSONL record per attempt (and
+	// per cache hit) — the sweep's append-only flake history.
+	Journal *Journal
+	// Runner, when non-nil, replaces DefaultRunner for every cell attempt
+	// — the seam internal/faultinject injects chaos through.
+	Runner Runner
 	// DiscardRuns drops each RunMetrics once it has been distilled into
 	// the streaming per-figure aggregates (and, if enabled, the cache).
 	// Result.Runs stays empty; Table, CSV, AdversaryTable and
@@ -119,10 +135,23 @@ type Result struct {
 	// CacheHits and CacheMisses count cells served from / missing in the
 	// sweep's cache (both 0 when no cache was attached). CachePutErrs
 	// counts results that ran fine but could not be persisted (the sweep
-	// itself is not failed for a sick cache).
-	CacheHits    int
-	CacheMisses  int
-	CachePutErrs int
+	// itself is not failed for a sick cache); CacheFirstPutErr retains the
+	// first such error so the summary can name the path and cause instead
+	// of only a count.
+	CacheHits        int
+	CacheMisses      int
+	CachePutErrs     int
+	CacheFirstPutErr error
+	// Failed records every run of a KeepGoing sweep that failed all its
+	// attempts, sorted by cell then seed. Empty on a clean sweep (and
+	// always empty without KeepGoing — there the first failure cancels the
+	// sweep and is returned as the error instead).
+	Failed []FailedCell
+	// okReps and failed count surviving / ultimately-failed repetitions
+	// per cell, so the renderers can mark degraded cells instead of
+	// printing misleading zeros.
+	okReps map[CellKey]int
+	failed map[CellKey]int
 }
 
 // advAxis returns the effective adversary axis: the declared Adversaries,
@@ -197,168 +226,6 @@ type runRecord struct {
 	vals []float64
 }
 
-// Run executes the sweep. Repetition r uses seed SeedBase+r for every
-// protocol, speed and adversary, pairing the comparisons: identical
-// mobility and traffic endpoints across protocols and threat models.
-//
-// Cells present in Sweep.Cache are served without simulating; the rest are
-// dispatched to a worker pool where each worker reuses one
-// scenario.Context across its runs. The first error cancels all
-// outstanding jobs and is returned with its cell attribution.
-func (s Sweep) Run() (*Result, error) {
-	type job struct {
-		key CellKey
-		cfg scenario.Config
-	}
-	specs, labels := s.advAxis()
-	cmSpecs, cmLabels := s.cmAxis()
-	figs := allFigures()
-	res := &Result{
-		Sweep: s,
-		Runs:  make(map[CellKey][]*metrics.RunMetrics),
-		aggs:  make(map[CellKey]map[string]*stats.Welford),
-	}
-	recs := make(map[CellKey][]runRecord)
-	record := func(key CellKey, m *metrics.RunMetrics) {
-		if !s.DiscardRuns {
-			// Retained runs serve the renderers directly; distilling would
-			// be dead weight.
-			res.Runs[key] = append(res.Runs[key], m)
-			return
-		}
-		rec := runRecord{seed: m.Seed, vals: make([]float64, len(figs))}
-		for i := range figs {
-			rec.vals[i] = figs[i].Metric(m)
-		}
-		recs[key] = append(recs[key], rec)
-	}
-
-	// Enumerate the grid, serving cache hits inline and collecting the
-	// cells that actually need simulating.
-	var jobs []job
-	for _, p := range s.Protocols {
-		for _, v := range s.Speeds {
-			for a := range specs {
-				for c := range cmSpecs {
-					for r := 0; r < s.Reps; r++ {
-						cfg := s.Base
-						cfg.Protocol = p
-						cfg.MaxSpeed = v
-						cfg.Adversary = specs[a]
-						cfg.Countermeasure = cmSpecs[c]
-						cfg.Seed = s.SeedBase + int64(r)
-						key := CellKey{Protocol: p, Speed: v, Adversary: labels[a], Countermeasure: cmLabels[c]}
-						if s.Cache != nil {
-							if m, ok := s.Cache.Get(cfg); ok {
-								res.CacheHits++
-								record(key, m)
-								if s.OnRun != nil {
-									s.OnRun(m)
-								}
-								continue
-							}
-							res.CacheMisses++
-						}
-						jobs = append(jobs, job{key: key, cfg: cfg})
-					}
-				}
-			}
-		}
-	}
-
-	workers := s.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	done := make(chan struct{})
-	var abortOnce sync.Once
-	abort := func() { abortOnce.Do(func() { close(done) }) }
-	jobCh := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One reusable simulation context per worker: consecutive runs
-			// reset the scheduler/channel/collector instead of reallocating
-			// them (bit-identical results; see scenario.Context).
-			ctx := scenario.NewContext()
-			for j := range jobCh {
-				select {
-				case <-done:
-					continue // sweep aborted: drain without simulating
-				default:
-				}
-				m, err := ctx.RunOne(j.cfg)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s speed=%g adversary=%q countermeasure=%q seed=%d: %w",
-							j.key.Protocol, j.key.Speed, j.key.Adversary, j.key.Countermeasure, j.cfg.Seed, err)
-					}
-					mu.Unlock()
-					abort()
-					continue
-				}
-				if s.Cache != nil {
-					if err := s.Cache.Put(j.cfg, m); err != nil {
-						mu.Lock()
-						res.CachePutErrs++
-						mu.Unlock()
-					}
-				}
-				mu.Lock()
-				record(j.key, m)
-				mu.Unlock()
-				if s.OnRun != nil {
-					s.OnRun(m)
-				}
-			}
-		}()
-	}
-	// Feed until done: an abort stops the feeder, so outstanding jobs are
-	// cancelled instead of the grid silently running to completion.
-feed:
-	for _, j := range jobs {
-		select {
-		case jobCh <- j:
-		case <-done:
-			break feed
-		}
-	}
-	close(jobCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	// Deterministic ordering inside each cell regardless of completion
-	// order: runs sorted by seed, aggregates folded in seed order.
-	for _, runs := range res.Runs {
-		sort.Slice(runs, func(i, j int) bool { return runs[i].Seed < runs[j].Seed })
-	}
-	for key, rs := range recs {
-		sort.Slice(rs, func(i, j int) bool { return rs[i].seed < rs[j].seed })
-		agg := make(map[string]*stats.Welford, len(figs))
-		for i := range figs {
-			w := &stats.Welford{}
-			for _, rec := range rs {
-				w.Add(rec.vals[i])
-			}
-			agg[figs[i].ID] = w
-		}
-		res.aggs[key] = agg
-	}
-	return res, nil
-}
-
 // Mean returns the mean of metric over a cell's repetitions. It consults
 // the retained runs, so it reports 0 after a DiscardRuns sweep — use the
 // figure-based renderers (Table, CSV, FigMean) there.
@@ -412,6 +279,34 @@ func (r *Result) figMeanCI(key CellKey, fig Figure) (mean, ci float64) {
 	return 0, 0
 }
 
+// cellText renders one 20-character table cell: mean ± CI for a healthy
+// cell, a FAILED marker when every repetition of the cell failed (a zero
+// there would read as a measurement), and a trailing "!" when some
+// repetitions are missing so the mean rests on fewer runs than its
+// neighbours. Clean sweeps render byte-identically to the pre-failure
+// engine.
+func (r *Result) cellText(key CellKey, fig Figure) string {
+	if r.cellAllFailed(key) {
+		return fmt.Sprintf("%20s", "FAILED")
+	}
+	mean, ci := r.figMeanCI(key, fig)
+	if r.failed[key] > 0 {
+		return fmt.Sprintf("%12.4f ±%5.3f!", mean, ci)
+	}
+	return fmt.Sprintf("%13.4f ±%5.3f", mean, ci)
+}
+
+// cellCSV is cellText for the CSV renderers: empty mean/ci fields for an
+// all-failed cell (parsers see missing data, not zeros), normal fields
+// otherwise.
+func (r *Result) cellCSV(key CellKey, fig Figure) string {
+	if r.cellAllFailed(key) {
+		return ",,"
+	}
+	mean, ci := r.figMeanCI(key, fig)
+	return fmt.Sprintf(",%.6f,%.6f", mean, ci)
+}
+
 // defaultAdversary returns the Adversary label figure tables aggregate
 // over: blank for a plain paper sweep, otherwise the first axis entry's
 // label. It must come from advAxis — the single place labels are derived,
@@ -458,8 +353,7 @@ func (r *Result) Table(fig Figure) string {
 		fmt.Fprintf(&b, "%-14g", v)
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary(), Countermeasure: r.defaultCountermeasure()}
-			mean, ci := r.figMeanCI(key, fig)
-			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
+			b.WriteString(r.cellText(key, fig))
 		}
 		b.WriteString("\n")
 	}
@@ -479,8 +373,7 @@ func (r *Result) CSV(fig Figure) string {
 		fmt.Fprintf(&b, "%g", v)
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: v, Adversary: r.defaultAdversary(), Countermeasure: r.defaultCountermeasure()}
-			mean, ci := r.figMeanCI(key, fig)
-			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
+			b.WriteString(r.cellCSV(key, fig))
 		}
 		b.WriteString("\n")
 	}
@@ -508,8 +401,7 @@ func (r *Result) AdversaryTable(fig Figure, speed float64) string {
 		fmt.Fprintf(&b, "%-18s", labels[i])
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i], Countermeasure: r.defaultCountermeasure()}
-			mean, ci := r.figMeanCI(key, fig)
-			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
+			b.WriteString(r.cellText(key, fig))
 		}
 		b.WriteString("\n")
 	}
@@ -538,8 +430,7 @@ func (r *Result) CountermeasureTable(fig Figure, speed float64, advLabel string)
 		fmt.Fprintf(&b, "%-20s", cmOrBase(labels[i]))
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: speed, Adversary: advLabel, Countermeasure: labels[i]}
-			mean, ci := r.figMeanCI(key, fig)
-			fmt.Fprintf(&b, "%13.4f ±%5.3f", mean, ci)
+			b.WriteString(r.cellText(key, fig))
 		}
 		b.WriteString("\n")
 	}
@@ -561,8 +452,7 @@ func (r *Result) CountermeasureCSV(fig Figure, speed float64, advLabel string) s
 		b.WriteString(cmOrBase(labels[i]))
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: speed, Adversary: advLabel, Countermeasure: labels[i]}
-			mean, ci := r.figMeanCI(key, fig)
-			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
+			b.WriteString(r.cellCSV(key, fig))
 		}
 		b.WriteString("\n")
 	}
@@ -598,8 +488,7 @@ func (r *Result) AdversaryCSV(fig Figure, speed float64) string {
 		b.WriteString(labels[i])
 		for _, p := range r.Sweep.Protocols {
 			key := CellKey{Protocol: p, Speed: speed, Adversary: labels[i], Countermeasure: r.defaultCountermeasure()}
-			mean, ci := r.figMeanCI(key, fig)
-			fmt.Fprintf(&b, ",%.6f,%.6f", mean, ci)
+			b.WriteString(r.cellCSV(key, fig))
 		}
 		b.WriteString("\n")
 	}

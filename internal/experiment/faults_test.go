@@ -1,0 +1,462 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"mtsim/internal/metrics"
+	"mtsim/internal/packet"
+	"mtsim/internal/scenario"
+)
+
+// requireArenaClean fails the test unless the arena's books are closed:
+// every packet and frame released exactly once, no ledger violations.
+func requireArenaClean(t *testing.T, a *packet.Arena, who string) {
+	t.Helper()
+	st := a.Stats()
+	if live := a.LivePackets(); live != 0 {
+		t.Errorf("%s: %d live packets after sweep (stats %+v)", who, live, st)
+	}
+	if live := a.LiveFrames(); live != 0 {
+		t.Errorf("%s: %d live frames after sweep", who, live)
+	}
+	if st.DoubleReleases != 0 || st.ForeignReleases != 0 || st.PoisonTrips != 0 {
+		t.Errorf("%s: dirty arena ledger: %+v", who, st)
+	}
+}
+
+// TestRetryPolicyDelay pins the deterministic capped-exponential backoff
+// schedule.
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{Backoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}
+	for failures, want := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 400 * time.Millisecond, // capped
+	} {
+		if got := p.Delay(failures); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", failures, got, want)
+		}
+	}
+	if got := (RetryPolicy{}).Delay(3); got != 0 {
+		t.Errorf("zero policy Delay = %v, want 0", got)
+	}
+	if got := (RetryPolicy{}).attempts(); got != 1 {
+		t.Errorf("zero policy attempts = %d, want 1", got)
+	}
+	if got := (RetryPolicy{MaxAttempts: 4}).attempts(); got != 4 {
+		t.Errorf("attempts = %d, want 4", got)
+	}
+}
+
+// TestSweepCancelRetiresWorkerState covers the first-error cancellation
+// path end to end: an injected failing cell cancels outstanding jobs,
+// the returned error names the cell, and every worker context the sweep
+// ever used retired its packets cleanly (arenas armed in Check mode via
+// the Runner seam).
+func TestSweepCancelRetiresWorkerState(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		arenas []*packet.Arena
+		seen   = map[*scenario.Context]bool{}
+	)
+	s := Sweep{
+		Base:        quickBase(),
+		Protocols:   []string{"AODV", "MTS"},
+		Speeds:      []float64{2, 5, 10, 15, 20},
+		Reps:        4,
+		SeedBase:    1,
+		Parallelism: 2,
+		Runner: func(ctx *scenario.Context, cfg scenario.Config, w Watchdog) (*metrics.RunMetrics, error) {
+			mu.Lock()
+			if !seen[ctx] {
+				seen[ctx] = true
+				a := ctx.Arena()
+				a.Check = true
+				arenas = append(arenas, a)
+			}
+			mu.Unlock()
+			if cfg.Protocol == "AODV" && cfg.MaxSpeed == 5 && cfg.Seed == 2 {
+				return nil, errors.New("injected cell failure")
+			}
+			return DefaultRunner(ctx, cfg, w)
+		},
+	}
+	var ran int64
+	s.OnRun = func(*metrics.RunMetrics) { atomic.AddInt64(&ran, 1) }
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("sweep with an injected failing cell reported success")
+	}
+	for _, want := range []string{"AODV", "speed=5", "seed=2", "injected cell failure"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error lost cell attribution (%q missing): %v", want, err)
+		}
+	}
+	total := int64(len(s.Protocols) * len(s.Speeds) * s.Reps)
+	if ran >= total {
+		t.Fatalf("all %d cells ran despite cancellation", total)
+	}
+	if len(arenas) == 0 {
+		t.Fatal("runner seam never saw a worker context")
+	}
+	for i, a := range arenas {
+		requireArenaClean(t, a, fmt.Sprintf("worker %d", i))
+	}
+}
+
+// TestRetryRecoversPanickingCell: a cell that panics on its first two
+// attempts and succeeds on the third yields a clean sweep whose rendered
+// results are byte-identical to a never-faulted sweep — panic isolation
+// plus deterministic retry costs zero correctness. The backoff schedule
+// and the replaced worker context are asserted along the way.
+func TestRetryRecoversPanickingCell(t *testing.T) {
+	mk := func() Sweep {
+		return Sweep{
+			Base:      quickBase(),
+			Protocols: []string{"AODV", "MTS"},
+			Speeds:    []float64{2, 10},
+			Reps:      2,
+			SeedBase:  1,
+		}
+	}
+	clean, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		panics   int
+		delays   []time.Duration
+		contexts = map[*scenario.Context]bool{}
+	)
+	s := mk()
+	s.Retry = RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+		},
+	}
+	var journal bytes.Buffer
+	s.Journal = NewJournal(&journal)
+	s.Runner = func(ctx *scenario.Context, cfg scenario.Config, w Watchdog) (*metrics.RunMetrics, error) {
+		mu.Lock()
+		contexts[ctx] = true
+		inject := cfg.Protocol == "MTS" && cfg.MaxSpeed == 10 && cfg.Seed == 1 && panics < 2
+		if inject {
+			panics++
+		}
+		mu.Unlock()
+		if inject {
+			panic("injected mid-run panic")
+		}
+		return DefaultRunner(ctx, cfg, w)
+	}
+	faulted, err := s.Run()
+	if err != nil {
+		t.Fatalf("retries did not recover the panicking cell: %v", err)
+	}
+	if panics != 2 {
+		t.Fatalf("injected %d panics, want 2", panics)
+	}
+	if want := []time.Duration{time.Millisecond, 2 * time.Millisecond}; len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("backoff delays %v, want %v", delays, want)
+	}
+	// A panic poisons the worker's reusable context, so the engine must
+	// have handed the runner a replacement at least once.
+	if len(contexts) < 2 {
+		t.Fatalf("engine reused a context across a panic (saw %d distinct contexts)", len(contexts))
+	}
+	if len(faulted.Failed) != 0 {
+		t.Fatalf("recovered sweep still recorded failures: %v", faulted.Failed)
+	}
+	for _, fig := range allFigures() {
+		if clean.Table(fig) != faulted.Table(fig) {
+			t.Fatalf("%s: sweep with recovered panics differs from clean sweep\nclean:\n%s\nfaulted:\n%s",
+				fig.ID, clean.Table(fig), faulted.Table(fig))
+		}
+		if clean.CSV(fig) != faulted.CSV(fig) {
+			t.Fatalf("%s: CSV differs after recovered panics", fig.ID)
+		}
+	}
+	// The journal holds the flake history: two panic attempts then an ok.
+	var kinds []string
+	for _, line := range strings.Split(strings.TrimSpace(journal.String()), "\n") {
+		var rec AttemptRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if rec.Protocol == "MTS" && rec.Speed == 10 && rec.Seed == 1 {
+			kinds = append(kinds, fmt.Sprintf("%d:%s", rec.Attempt, rec.Outcome))
+		}
+	}
+	if want := []string{"1:panic", "2:panic", "3:ok"}; strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("journal attempt history %v, want %v", kinds, want)
+	}
+	if s.Journal.Err() != nil {
+		t.Fatalf("journal write error: %v", s.Journal.Err())
+	}
+}
+
+// TestKeepGoingRecordsFailures: with KeepGoing a sweep with failing
+// cells completes the healthy grid, records each ultimately-failed run
+// with its attempt history, marks degraded cells in the renderers, and
+// summarises the damage.
+func TestKeepGoingRecordsFailures(t *testing.T) {
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"AODV", "MTS"},
+		Speeds:    []float64{2, 10},
+		Reps:      2,
+		SeedBase:  1,
+		KeepGoing: true,
+		Runner: func(ctx *scenario.Context, cfg scenario.Config, w Watchdog) (*metrics.RunMetrics, error) {
+			// Every rep of (AODV, 2) fails — an all-failed cell; one rep of
+			// (MTS, 10) fails — a degraded cell.
+			if cfg.Protocol == "AODV" && cfg.MaxSpeed == 2 {
+				return nil, errors.New("injected total failure")
+			}
+			if cfg.Protocol == "MTS" && cfg.MaxSpeed == 10 && cfg.Seed == 1 {
+				return nil, errors.New("injected partial failure")
+			}
+			return DefaultRunner(ctx, cfg, w)
+		},
+	}
+	var ran int64
+	s.OnRun = func(*metrics.RunMetrics) { atomic.AddInt64(&ran, 1) }
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("KeepGoing sweep returned an error: %v", err)
+	}
+	total := int64(len(s.Protocols) * len(s.Speeds) * s.Reps)
+	if ran != total-3 {
+		t.Fatalf("healthy cells run: %d, want %d", ran, total-3)
+	}
+	if len(res.Failed) != 3 {
+		t.Fatalf("recorded %d failed runs, want 3: %+v", len(res.Failed), res.Failed)
+	}
+	// Sorted by cell then seed, each with its attempt history and a
+	// cell-attributed error.
+	f := res.Failed[0]
+	if f.Key.Protocol != "AODV" || f.Key.Speed != 2 || f.Seed != 1 {
+		t.Fatalf("failures not sorted by cell then seed: first is %+v", f)
+	}
+	if len(f.Attempts) != 1 || f.Attempts[0].Kind != KindError {
+		t.Fatalf("attempt history %+v, want one %q attempt", f.Attempts, KindError)
+	}
+	if !strings.Contains(f.Err.Error(), "AODV speed=2") || !strings.Contains(f.Err.Error(), "injected total failure") {
+		t.Fatalf("failed cell error lost attribution: %v", f.Err)
+	}
+	allFailedKey := CellKey{Protocol: "AODV", Speed: 2}
+	degradedKey := CellKey{Protocol: "MTS", Speed: 10}
+	if res.FailedReps(allFailedKey) != 2 || res.FailedReps(degradedKey) != 1 {
+		t.Fatalf("FailedReps: all=%d degraded=%d, want 2/1",
+			res.FailedReps(allFailedKey), res.FailedReps(degradedKey))
+	}
+
+	fig := allFigures()[0]
+	table := res.Table(fig)
+	if !strings.Contains(table, "FAILED") {
+		t.Fatalf("table does not mark the all-failed cell:\n%s", table)
+	}
+	if !strings.Contains(table, "!") {
+		t.Fatalf("table does not mark the degraded cell:\n%s", table)
+	}
+	// Every rendered row stays column-aligned despite the markers (rune
+	// width — "±" is multi-byte).
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	for i := 2; i < len(lines); i++ {
+		if got, want := utf8.RuneCountInString(lines[i]), utf8.RuneCountInString(lines[1]); got != want {
+			t.Fatalf("row %d width %d != header width %d:\n%s", i, got, want, table)
+		}
+	}
+	csv := res.CSV(fig)
+	for _, line := range strings.Split(csv, "\n") {
+		if strings.HasPrefix(line, "2,") {
+			if !strings.HasPrefix(line, "2,,,") {
+				t.Fatalf("all-failed cell not blanked in CSV row %q", line)
+			}
+		}
+	}
+
+	sum := res.FailedSummary()
+	for _, want := range []string{"FAILED CELLS", "AODV", "MTS", "injected total failure", "seed"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("failed summary missing %q:\n%s", want, sum)
+		}
+	}
+	clean := Sweep{Base: quickBase(), Protocols: []string{"MTS"}, Speeds: []float64{2}, Reps: 1, SeedBase: 1}
+	cres, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.FailedSummary() != "" {
+		t.Fatalf("clean sweep rendered a failure summary: %q", cres.FailedSummary())
+	}
+}
+
+// TestWatchdogEventBudget: the sweep-level watchdog kills livelocked
+// runs via the real mid-run abort path and records them as timeouts;
+// retries re-kill deterministically, so the attempt history shows every
+// try.
+func TestWatchdogEventBudget(t *testing.T) {
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"MTS"},
+		Speeds:    []float64{10},
+		Reps:      1,
+		SeedBase:  1,
+		KeepGoing: true,
+		Watchdog:  Watchdog{MaxEvents: 50},
+		Retry:     RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("KeepGoing watchdog sweep errored: %v", err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("recorded %d failures, want 1", len(res.Failed))
+	}
+	f := res.Failed[0]
+	if len(f.Attempts) != 2 {
+		t.Fatalf("watchdog kill retried %d times, want 2 attempts", len(f.Attempts))
+	}
+	for _, a := range f.Attempts {
+		if a.Kind != KindTimeout {
+			t.Fatalf("attempt kind %q, want %q (%+v)", a.Kind, KindTimeout, a)
+		}
+	}
+	if !strings.Contains(f.Err.Error(), "event-budget") || !strings.Contains(f.Err.Error(), "after 2 attempts") {
+		t.Fatalf("timeout error lost attribution: %v", f.Err)
+	}
+	var ae *scenario.AbortError
+	if !errors.As(f.Err, &ae) {
+		t.Fatalf("failed cell error does not unwrap to *scenario.AbortError: %v", f.Err)
+	}
+}
+
+// erringCache is a Cache whose writes always fail — the sick-disk case
+// the sweep must survive while still naming the first cause.
+type erringCache struct{ calls int64 }
+
+func (c *erringCache) Get(scenario.Config) (*metrics.RunMetrics, bool) { return nil, false }
+func (c *erringCache) Put(scenario.Config, *metrics.RunMetrics) error {
+	atomic.AddInt64(&c.calls, 1)
+	return errors.New("write /bogus/cache/ab/deadbeef.json: read-only file system")
+}
+
+// TestCachePutErrSurfaced: a sweep over a cache that cannot persist
+// still succeeds, counts every failed write, and retains the first
+// error's path and cause for the summary (instead of only a count).
+func TestCachePutErrSurfaced(t *testing.T) {
+	cache := &erringCache{}
+	s := Sweep{
+		Base:      quickBase(),
+		Protocols: []string{"MTS"},
+		Speeds:    []float64{2, 10},
+		Reps:      2,
+		SeedBase:  1,
+		Cache:     cache,
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("sweep failed for a sick cache: %v", err)
+	}
+	total := len(s.Protocols) * len(s.Speeds) * s.Reps
+	if res.CachePutErrs != total {
+		t.Fatalf("CachePutErrs = %d, want %d", res.CachePutErrs, total)
+	}
+	if res.CacheFirstPutErr == nil || !strings.Contains(res.CacheFirstPutErr.Error(), "/bogus/cache/ab/deadbeef.json") {
+		t.Fatalf("first put error lost its path: %v", res.CacheFirstPutErr)
+	}
+	if res.CacheMisses != total {
+		t.Fatalf("CacheMisses = %d, want %d", res.CacheMisses, total)
+	}
+}
+
+// TestJournalRecordsCacheHits: warm-cache cells appear in the journal as
+// attempt-0 cache hits, so the journal is a complete account of where
+// every cell's metrics came from.
+func TestJournalRecordsCacheHits(t *testing.T) {
+	dir := t.TempDir()
+	cold := cachedSweep(t, dir)
+	if _, err := cold.Run(); err != nil {
+		t.Fatal(err)
+	}
+	warm := cachedSweep(t, dir)
+	var buf bytes.Buffer
+	warm.Journal = NewJournal(&buf)
+	if _, err := warm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := len(warm.Protocols) * len(warm.Speeds) * warm.Reps
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != total {
+		t.Fatalf("journal has %d lines, want %d", len(lines), total)
+	}
+	for _, line := range lines {
+		var rec AttemptRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if rec.Outcome != "cache-hit" || rec.Attempt != 0 {
+			t.Fatalf("warm-cache journal record %+v, want attempt-0 cache-hit", rec)
+		}
+		if rec.Protocol == "" || rec.Seed == 0 {
+			t.Fatalf("journal record lost its cell: %+v", rec)
+		}
+	}
+	if warm.Journal.Records() != total {
+		t.Fatalf("Records() = %d, want %d", warm.Journal.Records(), total)
+	}
+}
+
+// TestOpenJournalAppends: OpenJournal is append-mode, so consecutive
+// sweeps over the same path accumulate one flake history.
+func TestOpenJournalAppends(t *testing.T) {
+	path := t.TempDir() + "/attempts.jsonl"
+	for i := 0; i < 2; i++ {
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Record(AttemptRecord{Protocol: "MTS", Seed: int64(i + 1), Attempt: 1, Outcome: "ok"})
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines after two appends, want 2", len(lines))
+	}
+	var rec AttemptRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seed != 2 {
+		t.Fatalf("second line seed %d, want 2", rec.Seed)
+	}
+}

@@ -1,0 +1,290 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/runcache"
+	"mtsim/internal/scenario"
+	"mtsim/internal/sim"
+)
+
+func chaosBase() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Nodes = 20
+	cfg.Duration = 5 * sim.Second
+	cfg.TCPStart = sim.Time(500 * sim.Millisecond)
+	return cfg
+}
+
+func chaosSweep() experiment.Sweep {
+	return experiment.Sweep{
+		Base:      chaosBase(),
+		Protocols: []string{"AODV", "MTS"},
+		Speeds:    []float64{2, 10},
+		Reps:      2,
+		SeedBase:  1,
+	}
+}
+
+// chaosJournal returns the journal the chaos suite writes its attempt
+// history to: a file under $CHAOS_JOURNAL_DIR when the CI chaos lane
+// sets it (uploaded as a build artifact), an in-memory buffer otherwise.
+// The journal is append-mode, so repeated invocations (the chaos lane
+// runs the suite plain and again under -race) accumulate one history;
+// the read-back closure returns only the lines this invocation wrote.
+func chaosJournal(t *testing.T, name string) (*experiment.Journal, func() string) {
+	t.Helper()
+	if dir := os.Getenv("CHAOS_JOURNAL_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		var start int64
+		if fi, err := os.Stat(path); err == nil {
+			start = fi.Size()
+		}
+		j, err := experiment.OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { j.Close() })
+		return j, func() string {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(data[start:])
+		}
+	}
+	var buf bytes.Buffer
+	return experiment.NewJournal(&buf), buf.String
+}
+
+// TestChaosSweepBitIdentical is the suite's headline property: a sweep
+// under seeded faults at every seam — panicking cells, runs livelocked
+// into the watchdog, erroring and torn cache writes — aggregates
+// bit-identically to the fault-free sweep, because retries re-run
+// deterministic cells and the cache degrades instead of lying. A second
+// sweep over the same (now partially torn) cache then quarantines the
+// corruption and still agrees.
+func TestChaosSweepBitIdentical(t *testing.T) {
+	clean, err := chaosSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &FlakyCache{
+		Store:  store,
+		Faults: CacheFaults{Seed: 7, PutErrRate: 0.4, TearRate: 0.4, GetErrRate: 0.3},
+	}
+	// Seed 11 assigns this grid two panicking cells, two erroring cells,
+	// two livelocked cells and leaves two healthy — every fault kind
+	// exercised in one sweep.
+	inj := New(Plan{
+		Seed:            11,
+		PanicRate:       0.3,
+		ErrorRate:       0.3,
+		SlowRate:        0.3,
+		FailuresPerCell: 2,
+	})
+	s := chaosSweep()
+	s.Cache = flaky
+	s.Runner = inj.Runner(nil)
+	s.KeepGoing = true
+	s.Retry = experiment.RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond, Sleep: func(time.Duration) {}}
+	journal, readJournal := chaosJournal(t, "chaos-attempts.jsonl")
+	s.Journal = journal
+
+	faulted, err := s.Run()
+	if err != nil {
+		t.Fatalf("chaos sweep errored despite retries: %v", err)
+	}
+	panics, errs, slows := inj.Counts()
+	if panics == 0 || errs == 0 || slows == 0 {
+		t.Fatalf("chaos plan missed a fault kind (%d panics, %d errors, %d slow runs) — re-pick the seed",
+			panics, errs, slows)
+	}
+	t.Logf("injected faults: %d panics, %d errors, %d slow runs", panics, errs, slows)
+	if len(faulted.Failed) != 0 {
+		t.Fatalf("retries did not absorb every injected fault: %+v", faulted.Failed)
+	}
+	for _, fig := range experiment.PaperFigures() {
+		if clean.Table(fig) != faulted.Table(fig) {
+			t.Fatalf("%s: chaos sweep differs from fault-free sweep\nclean:\n%s\nchaos:\n%s",
+				fig.ID, clean.Table(fig), faulted.Table(fig))
+		}
+		if clean.CSV(fig) != faulted.CSV(fig) {
+			t.Fatalf("%s: chaos CSV differs", fig.ID)
+		}
+	}
+
+	// The journal recorded every injected fault as a failed attempt.
+	var injectedLines, okLines int
+	for _, line := range strings.Split(strings.TrimSpace(readJournal()), "\n") {
+		var rec experiment.AttemptRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		switch rec.Outcome {
+		case "ok", "cache-hit":
+			okLines++
+		default:
+			injectedLines++
+		}
+	}
+	if injectedLines != panics+errs+slows {
+		t.Fatalf("journal shows %d failed attempts, injector says %d", injectedLines, panics+errs+slows)
+	}
+	total := len(s.Protocols) * len(s.Speeds) * s.Reps
+	if okLines != total {
+		t.Fatalf("journal shows %d successful cells, want %d", okLines, total)
+	}
+
+	// Round two over the same store: torn entries are quarantined (real
+	// corrupt bytes caught by runcache), erroring reads degrade, and the
+	// recomputed sweep still agrees bit-for-bit.
+	_, tears, _ := flaky.Counts()
+	if tears == 0 {
+		t.Fatal("no torn cache writes injected — raise TearRate or change the seed")
+	}
+	s2 := chaosSweep()
+	s2.Cache = store // the bare store this time: every surviving entry is served
+	warm, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := store.Health(); h.Quarantined != tears {
+		t.Fatalf("quarantined %d entries, injected %d torn writes (health %+v)", h.Quarantined, tears, h)
+	}
+	for _, fig := range experiment.PaperFigures() {
+		if clean.Table(fig) != warm.Table(fig) {
+			t.Fatalf("%s: post-quarantine sweep differs from fault-free sweep", fig.ID)
+		}
+	}
+}
+
+// TestRetryBitIdentical is the per-cell version of the headline
+// property: a cell that fails N times under injected faults and then
+// succeeds yields RunMetrics byte-identical to a never-faulted run.
+func TestRetryBitIdentical(t *testing.T) {
+	cfg := chaosBase()
+	cfg.Protocol = "MTS"
+	cfg.MaxSpeed = 10
+	cfg.Seed = 3
+	want, err := scenario.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, plan := range []Plan{
+		{Seed: 1, ErrorRate: 1, FailuresPerCell: 2},
+		{Seed: 1, PanicRate: 1, FailuresPerCell: 2},
+		{Seed: 1, SlowRate: 1, FailuresPerCell: 2, SlowEvents: 40},
+	} {
+		inj := New(plan)
+		s := experiment.Sweep{
+			Base:      chaosBase(),
+			Protocols: []string{"MTS"},
+			Speeds:    []float64{10},
+			Reps:      1,
+			SeedBase:  3,
+			Runner:    inj.Runner(nil),
+			Retry:     experiment.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}},
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("plan %+v: retries did not recover: %v", plan, err)
+		}
+		panics, errs, slows := inj.Counts()
+		if panics+errs+slows != 2 {
+			t.Fatalf("plan %+v: injected %d faults, want 2", plan, panics+errs+slows)
+		}
+		runs := res.Runs[experiment.CellKey{Protocol: "MTS", Speed: 10}]
+		if len(runs) != 1 {
+			t.Fatalf("plan %+v: %d runs retained, want 1", plan, len(runs))
+		}
+		w, _ := json.Marshal(want)
+		g, _ := json.Marshal(runs[0])
+		if string(w) != string(g) {
+			t.Fatalf("plan %+v: metrics after %d failed attempts differ from never-faulted run\nwant: %s\ngot:  %s",
+				plan, 2, w, g)
+		}
+	}
+}
+
+// TestChaosWithoutRetriesRecordsFailures: with a single attempt the same
+// plan's faults become Result.Failed entries whose kinds match what was
+// injected — the graceful-degradation path under chaos.
+func TestChaosWithoutRetriesRecordsFailures(t *testing.T) {
+	inj := New(Plan{Seed: 7, PanicRate: 0.3, ErrorRate: 0.3, SlowRate: 0.3})
+	s := chaosSweep()
+	s.Runner = inj.Runner(nil)
+	s.KeepGoing = true
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("KeepGoing chaos sweep errored: %v", err)
+	}
+	panics, errs, slows := inj.Counts()
+	if got := len(res.Failed); got != panics+errs+slows {
+		t.Fatalf("%d failed cells recorded, injector faulted %d", got, panics+errs+slows)
+	}
+	var kinds = map[string]int{}
+	for _, f := range res.Failed {
+		if len(f.Attempts) != 1 {
+			t.Fatalf("single-attempt sweep recorded %d attempts: %+v", len(f.Attempts), f)
+		}
+		kinds[f.Attempts[0].Kind]++
+	}
+	if kinds[experiment.KindPanic] != panics || kinds[experiment.KindError] != errs || kinds[experiment.KindTimeout] != slows {
+		t.Fatalf("failure kinds %v, injected %d/%d/%d", kinds, panics, errs, slows)
+	}
+}
+
+// TestFaultSelectionDeterministic: the same plan faults the same cells
+// with the same kinds, run after run — chaos is reproducible by seed.
+func TestFaultSelectionDeterministic(t *testing.T) {
+	p := Plan{Seed: 42, PanicRate: 0.3, ErrorRate: 0.3, SlowRate: 0.3}
+	var kinds []string
+	for round := 0; round < 2; round++ {
+		var got []string
+		for seed := int64(1); seed <= 16; seed++ {
+			cfg := chaosBase()
+			cfg.Protocol = "MTS"
+			cfg.MaxSpeed = 10
+			cfg.Seed = seed
+			got = append(got, p.faultKind(cfg))
+		}
+		if round == 0 {
+			kinds = got
+			continue
+		}
+		if strings.Join(got, ",") != strings.Join(kinds, ",") {
+			t.Fatalf("fault selection drifted between rounds:\n%v\n%v", kinds, got)
+		}
+	}
+	other := Plan{Seed: 43, PanicRate: 0.3, ErrorRate: 0.3, SlowRate: 0.3}
+	var differs bool
+	for seed := int64(1); seed <= 16; seed++ {
+		cfg := chaosBase()
+		cfg.Protocol = "MTS"
+		cfg.MaxSpeed = 10
+		cfg.Seed = seed
+		if other.faultKind(cfg) != kinds[seed-1] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different chaos seeds selected identical faults for 16 cells")
+	}
+}

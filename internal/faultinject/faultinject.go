@@ -1,0 +1,248 @@
+// Package faultinject is the seeded, deterministic chaos harness for the
+// sweep engine: it wraps the engine's Runner and Cache seams to make
+// selected cells panic, error out, or livelock into the watchdog, and to
+// tear or fail cache I/O — all chosen by hashing the cell's full
+// configuration under a chaos seed, so the same Plan faults the same
+// cells on every machine and every run. Faults are transient by design
+// (a faulted cell heals after FailuresPerCell attempts), which is what
+// lets the chaos suite assert the headline robustness property: a sweep
+// under injected faults, with retries enabled, aggregates bit-identical
+// to the fault-free sweep. The injectors fabricate nothing — an injected
+// "slow run" squeezes the real watchdog's event budget so the genuine
+// mid-run kill-and-retire path is exercised, and a torn cache entry is
+// real corrupt bytes on disk for runcache's quarantine to catch.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/metrics"
+	"mtsim/internal/runcache"
+	"mtsim/internal/scenario"
+)
+
+// Plan declares which faults to inject and how often. Rates are
+// per-cell probabilities in [0,1]; a cell's fate is a pure function of
+// its configuration and Seed, so a Plan names a reproducible chaos
+// universe, not a dice roll.
+type Plan struct {
+	// Seed selects the chaos universe: it salts every per-cell draw.
+	Seed int64
+	// PanicRate, ErrorRate and SlowRate are the per-cell probabilities
+	// of the three fault kinds. A cell is assigned at most one kind,
+	// checked in that order.
+	PanicRate float64
+	ErrorRate float64
+	SlowRate  float64
+	// SlowEvents is the event budget an injected slow run is squeezed
+	// to (the real watchdog then kills the real run mid-flight). Values
+	// below 1 mean 32.
+	SlowEvents uint64
+	// FailuresPerCell is how many leading attempts of a faulted cell
+	// fail before it heals; values below 1 mean 1. A retry policy with
+	// MaxAttempts > FailuresPerCell therefore absorbs every fault.
+	FailuresPerCell int
+}
+
+func (p Plan) failures() int {
+	if p.FailuresPerCell < 1 {
+		return 1
+	}
+	return p.FailuresPerCell
+}
+
+func (p Plan) slowEvents() uint64 {
+	if p.SlowEvents < 1 {
+		return 32
+	}
+	return p.SlowEvents
+}
+
+// draw maps (cfg, which, Seed) to a uniform value in [0,1): the first 64
+// bits of the cell's content hash under a chaos-scoped salt. Unhashable
+// configurations draw 1 (never faulted) — the engine will surface the
+// real error instead.
+func (p Plan) draw(cfg scenario.Config, which string) float64 {
+	key, err := runcache.KeySalted(cfg, fmt.Sprintf("faultinject/%s/%d", which, p.Seed))
+	if err != nil {
+		return 1
+	}
+	v, err := strconv.ParseUint(key[:16], 16, 64)
+	if err != nil {
+		return 1
+	}
+	return float64(v>>11) / float64(uint64(1)<<53)
+}
+
+// faultKind assigns a cell its fault, or "" for a healthy cell.
+func (p Plan) faultKind(cfg scenario.Config) string {
+	if p.draw(cfg, "panic") < p.PanicRate {
+		return experiment.KindPanic
+	}
+	if p.draw(cfg, "error") < p.ErrorRate {
+		return experiment.KindError
+	}
+	if p.draw(cfg, "slow") < p.SlowRate {
+		return experiment.KindTimeout
+	}
+	return ""
+}
+
+// Injector applies a Plan at the engine's Runner seam, tracking per-cell
+// attempt counts (so faults heal after FailuresPerCell tries) and how
+// many of each fault kind it actually injected. One Injector covers one
+// sweep; build a fresh one per sweep so healing starts over.
+type Injector struct {
+	Plan Plan
+
+	mu       sync.Mutex
+	attempts map[string]int
+	panics   int
+	errors   int
+	slows    int
+}
+
+// New returns an Injector for the given plan.
+func New(p Plan) *Injector {
+	return &Injector{Plan: p, attempts: make(map[string]int)}
+}
+
+// Counts reports how many faults of each kind were injected so far.
+func (in *Injector) Counts() (panics, errs, slows int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.panics, in.errors, in.slows
+}
+
+// Runner wraps next (DefaultRunner when nil) with the plan's faults:
+// assign Injector.Runner(nil) to Sweep.Runner and the chaos applies to
+// every simulated cell attempt.
+func (in *Injector) Runner(next experiment.Runner) experiment.Runner {
+	if next == nil {
+		next = experiment.DefaultRunner
+	}
+	return func(ctx *scenario.Context, cfg scenario.Config, w experiment.Watchdog) (*metrics.RunMetrics, error) {
+		kind := in.Plan.faultKind(cfg)
+		if kind == "" {
+			return next(ctx, cfg, w)
+		}
+		cell, err := runcache.KeySalted(cfg, "faultinject/cell")
+		if err != nil {
+			return next(ctx, cfg, w)
+		}
+		in.mu.Lock()
+		n := in.attempts[cell]
+		in.attempts[cell] = n + 1
+		healed := n >= in.Plan.failures()
+		if !healed {
+			switch kind {
+			case experiment.KindPanic:
+				in.panics++
+			case experiment.KindError:
+				in.errors++
+			default:
+				in.slows++
+			}
+		}
+		in.mu.Unlock()
+		if healed {
+			return next(ctx, cfg, w)
+		}
+		switch kind {
+		case experiment.KindPanic:
+			panic(fmt.Sprintf("faultinject: injected panic (cell %s)", cell[:8]))
+		case experiment.KindError:
+			return nil, fmt.Errorf("faultinject: injected error (cell %s)", cell[:8])
+		default:
+			// A "slow" run is the real simulation squeezed under a tiny
+			// event budget: the genuine watchdog kills it mid-run through
+			// the genuine retire path. Nothing is faked.
+			sw := w
+			sw.MaxEvents = in.Plan.slowEvents()
+			return next(ctx, cfg, sw)
+		}
+	}
+}
+
+// CacheFaults declares deterministic cache-I/O chaos, drawn per cell
+// exactly like Plan's rates.
+type CacheFaults struct {
+	Seed int64
+	// PutErrRate: Put fails with an injected error, nothing written —
+	// the erroring-directory case.
+	PutErrRate float64
+	// TearRate: Put succeeds, then the entry's bytes are truncated
+	// mid-document — the torn-write case runcache must quarantine on the
+	// next read.
+	TearRate float64
+	// GetErrRate: Get degrades to a forced miss — the unreadable-entry
+	// case; the sweep recomputes.
+	GetErrRate float64
+}
+
+// FlakyCache wraps a real on-disk store with CacheFaults. It satisfies
+// experiment.Cache, so it drops into Sweep.Cache unchanged.
+type FlakyCache struct {
+	Store  *runcache.Store
+	Faults CacheFaults
+
+	mu      sync.Mutex
+	putErrs int
+	tears   int
+	getErrs int
+}
+
+func (c *FlakyCache) draw(cfg scenario.Config, which string) float64 {
+	return Plan{Seed: c.Faults.Seed}.draw(cfg, "cache-"+which)
+}
+
+// Counts reports how many cache faults of each kind were injected.
+func (c *FlakyCache) Counts() (putErrs, tears, getErrs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.putErrs, c.tears, c.getErrs
+}
+
+// Get serves the underlying store, except for cells drawn as erroring
+// reads, which miss.
+func (c *FlakyCache) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
+	if c.draw(cfg, "get") < c.Faults.GetErrRate {
+		c.mu.Lock()
+		c.getErrs++
+		c.mu.Unlock()
+		return nil, false
+	}
+	return c.Store.Get(cfg)
+}
+
+// Put writes through to the underlying store, then injects the cell's
+// cache fault: an outright error, or a torn entry (real truncated bytes
+// at the entry's real path).
+func (c *FlakyCache) Put(cfg scenario.Config, m *metrics.RunMetrics) error {
+	if c.draw(cfg, "put") < c.Faults.PutErrRate {
+		c.mu.Lock()
+		c.putErrs++
+		c.mu.Unlock()
+		path, _ := c.Store.EntryPath(cfg)
+		return fmt.Errorf("faultinject: injected put error for %s", path)
+	}
+	if err := c.Store.Put(cfg, m); err != nil {
+		return err
+	}
+	if c.draw(cfg, "tear") < c.Faults.TearRate {
+		if path, err := c.Store.EntryPath(cfg); err == nil {
+			if raw, err := os.ReadFile(path); err == nil && len(raw) > 2 {
+				if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err == nil {
+					c.mu.Lock()
+					c.tears++
+					c.mu.Unlock()
+				}
+			}
+		}
+	}
+	return nil
+}

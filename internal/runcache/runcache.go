@@ -34,6 +34,18 @@
 // encoding the golden fixtures use. Entries are written atomically
 // (temp file + rename), so a sweep killed mid-write never leaves a
 // half-entry behind — at worst the cell is recomputed.
+//
+// # Robustness
+//
+// The store never fails a sweep. A corrupt entry (truncated write on a
+// dying disk, editor damage, bit rot) is quarantined: moved aside to
+// <dir>/quarantine/ — preserved for post-mortems, never re-served, never
+// re-tripped — and the cell recomputes. Entries from another simulator
+// version or architecture are NOT corruption: they miss in place,
+// untouched, for whoever owns them. Reads that fail for I/O reasons
+// degrade to plain misses and are counted. Health reports all three
+// counters so callers can surface a sick cache instead of silently
+// recomputing forever.
 package runcache
 
 import (
@@ -49,6 +61,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 
 	"mtsim/internal/metrics"
 	"mtsim/internal/scenario"
@@ -144,12 +157,37 @@ type entry struct {
 	Metrics  *metrics.RunMetrics `json:"metrics"`
 }
 
+// quarantineDir is the subdirectory corrupt entries are moved into —
+// deliberately not a two-hex-digit name, so it can never collide with a
+// shard and Len/sweepOrphans skip it by name.
+const quarantineDir = "quarantine"
+
+// Health is a snapshot of a store's degradation counters. All zeros is
+// a healthy cache; anything else is worth a warning line (the cache
+// itself keeps working — misses recompute).
+type Health struct {
+	// Quarantined counts corrupt entries moved aside to the quarantine
+	// directory (preserved for post-mortems, never served again).
+	Quarantined int
+	// DegradedReads counts lookups that failed for I/O reasons other
+	// than absence (permissions, a dying disk) and were served as plain
+	// misses.
+	DegradedReads int
+	// StaleMisses counts lookups that found a valid entry from another
+	// schema version or architecture — not corruption, left in place.
+	StaleMisses int
+}
+
 // Store is a cache rooted at one directory. All methods are safe for
 // concurrent use by the sweep's worker goroutines: entries are immutable
-// once written, and writes are atomic renames.
+// once written, writes are atomic renames, and the health counters are
+// mutex-guarded.
 type Store struct {
 	dir  string
 	salt string
+
+	mu     sync.Mutex
+	health Health
 }
 
 // Open creates (if needed) and opens a cache directory.
@@ -179,7 +217,7 @@ func (s *Store) sweepOrphans() {
 		return
 	}
 	for _, sh := range shards {
-		if !sh.IsDir() {
+		if !sh.IsDir() || sh.Name() == quarantineDir {
 			continue
 		}
 		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
@@ -203,7 +241,9 @@ func (s *Store) path(key string) string {
 
 // Get returns the cached metrics for cfg, or (nil, false) on any miss:
 // absent entry, unreadable or corrupt file, schema or architecture
-// mismatch. A miss is never an error — the caller recomputes.
+// mismatch. A miss is never an error — the caller recomputes. Corrupt
+// entries are quarantined on sight; I/O failures and stale-version hits
+// are counted in Health.
 func (s *Store) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
 	key, err := KeySalted(cfg, s.salt)
 	if err != nil {
@@ -211,16 +251,71 @@ func (s *Store) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
 	}
 	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			// Read-only or erroring directory: degrade to pass-through —
+			// the sweep recomputes, the counter tells the story.
+			s.mu.Lock()
+			s.health.DegradedReads++
+			s.mu.Unlock()
+		}
 		return nil, false
 	}
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil {
+		s.quarantine(key)
 		return nil, false
 	}
-	if e.Schema != s.salt || e.GOARCH != runtime.GOARCH || e.Key != key || e.Metrics == nil {
+	if e.Schema != s.salt || e.GOARCH != runtime.GOARCH {
+		// A valid entry from another simulator version or architecture —
+		// not corruption; leave it in place for whoever owns it.
+		s.mu.Lock()
+		s.health.StaleMisses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	if e.Key != key || e.Metrics == nil {
+		s.quarantine(key)
 		return nil, false
 	}
 	return e.Metrics, true
+}
+
+// quarantine moves a corrupt entry aside to <dir>/quarantine/<key>.json:
+// it stops being served (and stops tripping every future lookup of its
+// cell) but is preserved for post-mortems rather than deleted. A failed
+// move (read-only cache) counts as a degraded read instead — the lookup
+// is still just a miss.
+func (s *Store) quarantine(key string) {
+	dst := filepath.Join(s.dir, quarantineDir, key+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err == nil {
+		if err := os.Rename(s.path(key), dst); err == nil {
+			s.mu.Lock()
+			s.health.Quarantined++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Lock()
+	s.health.DegradedReads++
+	s.mu.Unlock()
+}
+
+// Health returns a snapshot of the store's degradation counters since
+// Open. All zeros means every lookup was a clean hit or a clean miss.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
+}
+
+// EntryPath reports where cfg's entry lives (or would live) on disk —
+// the path warnings and post-mortems should name.
+func (s *Store) EntryPath(cfg scenario.Config) (string, error) {
+	key, err := KeySalted(cfg, s.salt)
+	if err != nil {
+		return "", err
+	}
+	return s.path(key), nil
 }
 
 // Put stores the metrics of one completed run under cfg's key. The write
@@ -267,8 +362,9 @@ func (s *Store) Put(cfg scenario.Config, m *metrics.RunMetrics) error {
 	return nil
 }
 
-// Len reports the number of entries on disk (tests, status lines). It
-// walks the shard directories; cost is proportional to the cache size.
+// Len reports the number of live entries on disk (tests, status lines):
+// quarantined corpses are not entries and are not counted. It walks the
+// shard directories; cost is proportional to the cache size.
 func (s *Store) Len() int {
 	n := 0
 	shards, err := os.ReadDir(s.dir)
@@ -276,7 +372,7 @@ func (s *Store) Len() int {
 		return 0
 	}
 	for _, sh := range shards {
-		if !sh.IsDir() {
+		if !sh.IsDir() || sh.Name() == quarantineDir {
 			continue
 		}
 		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))

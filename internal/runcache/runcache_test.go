@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -277,5 +278,166 @@ func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
 	}
 	if _, err := os.Stat(keep); err != nil {
 		t.Fatal("real entry removed by orphan sweep")
+	}
+}
+
+// TestCorruptEntryQuarantined: a corrupt entry is moved aside on first
+// sight — preserved under quarantine/ for post-mortems, excluded from
+// Len, never re-tripped — and the slot is immediately writable again.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Protocol = "MTS"
+	m, err := scenario.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(cfg)
+	path := filepath.Join(dir, key[:2], key+".json")
+	garbage := []byte("{\"schema\": truncated mid-wr")
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := store.Get(cfg); ok {
+		t.Fatal("corrupt entry served as hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry left in its shard after quarantine")
+	}
+	corpse := filepath.Join(dir, "quarantine", key+".json")
+	kept, err := os.ReadFile(corpse)
+	if err != nil {
+		t.Fatalf("quarantined corpse missing: %v", err)
+	}
+	if string(kept) != string(garbage) {
+		t.Fatal("quarantine altered the corrupt bytes")
+	}
+	if h := store.Health(); h.Quarantined != 1 || h.DegradedReads != 0 {
+		t.Fatalf("health after quarantine: %+v", h)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("Len counts the quarantined corpse: %d", store.Len())
+	}
+
+	// The slot recovers: a fresh Put hits again, the corpse stays put.
+	if _, ok := store.Get(cfg); ok {
+		t.Fatal("phantom hit after quarantine")
+	}
+	if err := store.Put(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(cfg); !ok {
+		t.Fatal("miss after re-put over a quarantined slot")
+	}
+	if store.Len() != 1 {
+		t.Fatalf("Len = %d after re-put, want 1", store.Len())
+	}
+	if h := store.Health(); h.Quarantined != 1 {
+		t.Fatalf("quarantine count moved without a new corpse: %+v", h)
+	}
+}
+
+// TestStaleEntryLeftInPlace: entries from another schema version or
+// architecture are valid data owned by someone else — they miss without
+// being quarantined or touched.
+func TestStaleEntryLeftInPlace(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Protocol = "MTS"
+	m, err := scenario.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(cfg)
+	path := filepath.Join(dir, key[:2], key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doctor := range []func(string) string{
+		func(s string) string { return strings.Replace(s, SchemaVersion, "mtsim-run/v0-old", 1) },
+		func(s string) string { return strings.Replace(s, runtime.GOARCH, "pdp11", 1) },
+	} {
+		if err := os.WriteFile(path, []byte(doctor(string(raw))), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := store.Get(cfg); ok {
+			t.Fatal("stale entry served as hit")
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("stale entry was moved or removed: %v", err)
+		}
+	}
+	h := store.Health()
+	if h.Quarantined != 0 {
+		t.Fatalf("stale entries quarantined: %+v", h)
+	}
+	if h.StaleMisses != 2 {
+		t.Fatalf("StaleMisses = %d, want 2", h.StaleMisses)
+	}
+}
+
+// TestDegradedReadCounted: a lookup that fails for I/O reasons (here the
+// entry path is a directory, so reads error without involving
+// permissions) degrades to a plain miss and is counted, never fatal.
+func TestDegradedReadCounted(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	key, _ := Key(cfg)
+	if err := os.MkdirAll(filepath.Join(dir, key[:2], key+".json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(cfg); ok {
+		t.Fatal("unreadable entry served as hit")
+	}
+	if h := store.Health(); h.DegradedReads != 1 || h.Quarantined != 0 {
+		t.Fatalf("health after erroring read: %+v", h)
+	}
+	// Plain absence is a clean miss, not degradation.
+	cfg2 := quickConfig()
+	cfg2.Seed = 999
+	if _, ok := store.Get(cfg2); ok {
+		t.Fatal("phantom hit")
+	}
+	if h := store.Health(); h.DegradedReads != 1 {
+		t.Fatalf("clean miss counted as degraded: %+v", h)
+	}
+}
+
+// TestEntryPathMatchesLayout pins EntryPath to the on-disk layout Get
+// and Put use.
+func TestEntryPathMatchesLayout(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	key, _ := Key(cfg)
+	p, err := store.EntryPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, key[:2], key+".json"); p != want {
+		t.Fatalf("EntryPath %q, want %q", p, want)
 	}
 }

@@ -196,6 +196,18 @@ type Context struct {
 // NewContext returns an empty context; the first Build populates it.
 func NewContext() *Context { return &Context{} }
 
+// Arena returns the context's packet arena, allocating it on first call
+// so a harness can arm its Check (leak-ledger) mode before the first
+// Build. Pooling and Check flags survive the per-run Reset, which is
+// what lets a sweep-wide leak assertion cover every run a worker's
+// context ever executed.
+func (ctx *Context) Arena() *packet.Arena {
+	if ctx.arena == nil {
+		ctx.arena = packet.NewArena()
+	}
+	return ctx.arena
+}
+
 // prepare hands out the context's scheduler, channel and collector, reset
 // to their freshly-constructed state.
 func (ctx *Context) prepare(rxRange, csRange float64) (*sim.Scheduler, *phy.Channel, *metrics.Collector) {
@@ -203,7 +215,9 @@ func (ctx *Context) prepare(rxRange, csRange float64) (*sim.Scheduler, *phy.Chan
 		ctx.sched = sim.NewScheduler()
 		ctx.ch = phy.NewChannel(ctx.sched, rxRange, csRange)
 		ctx.collector = metrics.NewCollector()
-		ctx.arena = packet.NewArena()
+		if ctx.arena == nil { // may have been pre-armed via Arena()
+			ctx.arena = packet.NewArena()
+		}
 	} else {
 		ctx.sched.Reset()
 		ctx.ch.Reset(rxRange, csRange)

@@ -373,6 +373,36 @@ func (s *Scheduler) RunUntil(horizon Time) {
 	}
 }
 
+// RunUntilBudget executes at most budget events in order up to the
+// horizon and reports whether the run is complete (no pending event at or
+// before the horizon remains). It is RunUntil sliced into resumable
+// chunks: calling it repeatedly until it returns true pops exactly the
+// same events in exactly the same order as one RunUntil call — the clock
+// is only advanced to the horizon on completion — which is what lets a
+// watchdog (scenario.Scenario.RunWatched) interleave wall-clock and
+// event-budget checks between chunks without perturbing a single bit of
+// the simulation. Stop aborts the current chunk early (reported as not
+// complete unless the queue happens to be drained).
+func (s *Scheduler) RunUntilBudget(horizon Time, budget uint64) bool {
+	s.stopped = false
+	for budget > 0 && len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].at > horizon {
+			break
+		}
+		e := s.heap.popMin()
+		s.now = e.at
+		s.Executed++
+		e.dispatch()
+		s.recycle(e)
+		budget--
+	}
+	done := len(s.heap) == 0 || s.heap[0].at > horizon
+	if done && s.now < horizon {
+		s.now = horizon
+	}
+	return done
+}
+
 // Run executes every pending event (including ones scheduled while running)
 // until the queue empties or Stop is called.
 func (s *Scheduler) Run() {

@@ -560,3 +560,83 @@ func TestRNGRecyclerBitIdentical(t *testing.T) {
 		t.Fatal("seed ignored on recycled source")
 	}
 }
+
+// TestRunUntilBudgetChunksMatchRunUntil: slicing a run into arbitrary
+// budget chunks pops the same events in the same order with the same
+// final clock and Executed count as one RunUntil — the invariant the
+// watchdog's chunked run loop rests on.
+func TestRunUntilBudgetChunksMatchRunUntil(t *testing.T) {
+	build := func() (*Scheduler, *[]int) {
+		s := NewScheduler()
+		var order []int
+		// A cascading workload: events schedule follow-ups, including
+		// some beyond the horizon.
+		for i := 0; i < 10; i++ {
+			i := i
+			s.At(Time(i)*Time(Millisecond), func() {
+				order = append(order, i)
+				s.After(3*Millisecond, func() { order = append(order, 100+i) })
+			})
+		}
+		return s, &order
+	}
+	ref, refOrder := build()
+	ref.RunUntil(8 * Time(Millisecond))
+
+	chunked, chOrder := build()
+	horizon := 8 * Time(Millisecond)
+	steps := 0
+	for !chunked.RunUntilBudget(horizon, 3) {
+		if steps++; steps > 100 {
+			t.Fatal("RunUntilBudget never completed")
+		}
+	}
+	if len(*refOrder) == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+	if got, want := *chOrder, *refOrder; len(got) != len(want) {
+		t.Fatalf("chunked run executed %d events, reference %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: chunked ran %d, reference %d", i, got[i], want[i])
+			}
+		}
+	}
+	if chunked.Now() != ref.Now() {
+		t.Fatalf("clock differs: chunked %v, reference %v", chunked.Now(), ref.Now())
+	}
+	if chunked.Executed != ref.Executed {
+		t.Fatalf("Executed differs: chunked %d, reference %d", chunked.Executed, ref.Executed)
+	}
+	if chunked.Len() != ref.Len() {
+		t.Fatalf("pending differs: chunked %d, reference %d", chunked.Len(), ref.Len())
+	}
+}
+
+// TestRunUntilBudgetStopsMidRun: an exhausted budget leaves the clock at
+// the last executed event (not the horizon) and the queue intact, and a
+// later unbounded run finishes the remainder.
+func TestRunUntilBudgetStopsMidRun(t *testing.T) {
+	s := NewScheduler()
+	var ran int
+	for i := 0; i < 6; i++ {
+		s.At(Time(i)*Time(Second), func() { ran++ })
+	}
+	horizon := 10 * Time(Second)
+	if done := s.RunUntilBudget(horizon, 2); done {
+		t.Fatal("budget of 2 over 6 events reported completion")
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events under a budget of 2", ran)
+	}
+	if s.Now() == horizon {
+		t.Fatal("clock jumped to the horizon on an incomplete run")
+	}
+	if !s.RunUntilBudget(horizon, 1<<30) {
+		t.Fatal("unbounded continuation did not complete")
+	}
+	if ran != 6 || s.Now() != horizon {
+		t.Fatalf("continuation: ran=%d now=%v, want 6 events and the horizon", ran, s.Now())
+	}
+}

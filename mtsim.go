@@ -117,6 +117,37 @@ type CellKey = experiment.CellKey
 // Figure describes one of the paper's evaluation figures.
 type Figure = experiment.Figure
 
+// RetryPolicy bounds the attempts the sweep engine makes on a failed
+// cell (Sweep.Retry). Retries re-run the identical configuration and
+// seed — the simulator's determinism makes a retry byte-identical to a
+// never-failed run — under deterministic capped-exponential backoff.
+type RetryPolicy = experiment.RetryPolicy
+
+// Watchdog is the per-run deadline pair (Sweep.Watchdog): a
+// simulated-event budget catching livelocked runs and a wall-clock
+// budget catching hung ones. A tripped watchdog kills the run cleanly
+// and attributes the timeout.
+type Watchdog = experiment.Watchdog
+
+// FailedCell is one run of a KeepGoing sweep that failed every attempt,
+// recorded in Result.Failed with its full attempt history.
+type FailedCell = experiment.FailedCell
+
+// Journal is the sweep engine's append-only JSONL attempt log
+// (Sweep.Journal): one record per attempt of every simulated cell,
+// successes and cache hits included.
+type Journal = experiment.Journal
+
+// AttemptRecord is one line of a Journal.
+type AttemptRecord = experiment.AttemptRecord
+
+// NewJournal wraps an existing writer as an attempt journal.
+func NewJournal(w io.Writer) *Journal { return experiment.NewJournal(w) }
+
+// OpenJournal opens (creating if needed) an append-mode journal file, so
+// repeated sweeps accumulate one flake history.
+func OpenJournal(path string) (*Journal, error) { return experiment.OpenJournal(path) }
+
 // Scenario is a built simulation; use Build for mid-run inspection and
 // custom instrumentation, or Run for the common path.
 type Scenario = scenario.Scenario
@@ -182,6 +213,11 @@ func OpenRunCache(dir string) (*RunCache, error) { return runcache.Open(dir) }
 
 // RunCacheKey returns the content address a configuration is cached under.
 func RunCacheKey(cfg Config) (string, error) { return runcache.Key(cfg) }
+
+// CacheHealth is a RunCache's degradation counters (corrupt entries
+// quarantined, erroring reads degraded to misses, stale-version misses).
+// All zeros is a healthy cache.
+type CacheHealth = runcache.Health
 
 // RunContext reuses the expensive simulation scaffolding (event scheduler,
 // radio channel, spatial grid, pools) across consecutive runs on one

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"mtsim/internal/scenario"
 )
 
 // benchSweep is the shared reduced grid behind the figure benchmarks:
@@ -370,6 +372,45 @@ func BenchmarkRunSetupReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkScale1000Nodes is the control-plane arena's acceptance smoke:
+// a 1000-node, 20-flow MTS run at the paper's node density, built through
+// a reused context and executed under watchdog defaults (an unlimited
+// Budget, exactly like the CLI). allocs/op here is the whole-run figure
+// the PERFORMANCE.md "control-plane arena" table quotes at scale; a
+// regression in router recycling shows up as this number scaling with
+// node count again.
+func BenchmarkScale1000Nodes(b *testing.B) {
+	cfg := benchBase()
+	cfg.Protocol = "MTS"
+	cfg.MaxSpeed = 10
+	cfg.Nodes = 1000
+	side := 1000 * math.Sqrt(1000.0/50)
+	cfg.Field = Field(side, side)
+	cfg.Duration = 4 * Second
+	cfg.TCPStart = Time(1 * Second)
+	for i := 0; i < 20; i++ {
+		cfg.Flows = append(cfg.Flows, FlowSpec{Src: NodeID(i), Dst: NodeID(500 + i)})
+	}
+	ctx := NewRunContext()
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		s, err := ctx.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := s.RunWatched(scenario.Budget{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Retire()
+		events += m.EventsRun
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkSimulatorEventRate measures the raw event-processing rate of

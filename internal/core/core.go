@@ -251,6 +251,15 @@ type Router struct {
 	checkID    uint32 // this node's checking-round counter as a destination
 	nextPathID int    // monotone per node; avoids aliasing across flushes
 
+	// Free lists for the per-flow state structs and the forwarding layer's
+	// inner maps, refilled when the router is recycled across runs. The
+	// storedPath route slices are deliberately NOT pooled: the destination
+	// shares them into in-flight RREP and Check headers (see sendCheck).
+	srcPool    []*srcState
+	dstPool    []*dstState
+	fwdMapPool []map[int]*fwdEntry
+	fePool     []*fwdEntry
+
 	Stats Stats
 }
 
@@ -379,8 +388,20 @@ func (r *Router) switchTarget(ss *srcState, nominated int) int {
 	return best
 }
 
-// New creates an MTS router bound to env.
+// recycleKey identifies parked MTS routers in a routing.Recycler.
+const recycleKey = "mts"
+
+// New creates an MTS router bound to env, reusing a recycled instance's
+// state (maps, per-flow struct pools, send-buffer buckets) when env
+// carries a routing.Recycler with one parked.
 func New(env routing.Env, cfg Config) *Router {
+	if rec := routing.RecyclerOf(env); rec != nil {
+		if v := rec.Get(recycleKey); v != nil {
+			r := v.(*Router)
+			r.rebind(env, cfg)
+			return r
+		}
+	}
 	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
@@ -396,8 +417,86 @@ func New(env routing.Env, cfg Config) *Router {
 	}
 }
 
+// rebind points a recycled (fully reset) router at the next run's
+// environment and parameters.
+func (r *Router) rebind(env routing.Env, cfg Config) {
+	ar := routing.ArenaOf(env)
+	r.env, r.cfg, r.ar = env, cfg, ar
+	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
+		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
+}
+
+// RecycleInto implements routing.Recyclable: reset all per-run state,
+// refill the struct pools and park the instance. No packets are released
+// (the arena's Reset already reclaimed them) and the stored-path route
+// slices go to the GC (they may still be aliased by dead headers).
+func (r *Router) RecycleInto(rec *routing.Recycler) {
+	clear(r.seen)
+	clear(r.pending)
+	for dst, ss := range r.src {
+		clear(ss.paths)
+		if ss.sent != nil {
+			clear(ss.sent)
+		}
+		ss.current, ss.haveRoute, ss.lastSwitchRound = 0, false, 0
+		ss.pendingSwitch = nil
+		ss.sentTotal, ss.rotate = 0, 0
+		ss.scratch = ss.scratch[:0]
+		r.srcPool = append(r.srcPool, ss)
+		delete(r.src, dst)
+	}
+	for src, ds := range r.dst {
+		for i := range ds.paths {
+			ds.paths[i] = nil
+		}
+		*ds = dstState{paths: ds.paths[:0], lastDataPath: -1}
+		r.dstPool = append(r.dstPool, ds)
+		delete(r.dst, src)
+	}
+	for dst, m := range r.fwd {
+		for id, e := range m {
+			*e = fwdEntry{}
+			r.fePool = append(r.fePool, e)
+			delete(m, id)
+		}
+		r.fwdMapPool = append(r.fwdMapPool, m)
+		delete(r.fwd, dst)
+	}
+	r.buffer.Recycle()
+	r.bid, r.checkID, r.nextPathID = 0, 0, 0
+	r.Stats = Stats{}
+	r.env = nil
+	rec.Put(recycleKey, r)
+}
+
+// newSrcState takes a reset srcState from the pool, or allocates one.
+func (r *Router) newSrcState() *srcState {
+	if n := len(r.srcPool); n > 0 {
+		ss := r.srcPool[n-1]
+		r.srcPool[n-1] = nil
+		r.srcPool = r.srcPool[:n-1]
+		return ss
+	}
+	return &srcState{paths: make(map[int]*srcPath)}
+}
+
+// newDstState takes a reset dstState from the pool, or allocates one.
+func (r *Router) newDstState() *dstState {
+	if n := len(r.dstPool); n > 0 {
+		ds := r.dstPool[n-1]
+		r.dstPool[n-1] = nil
+		r.dstPool = r.dstPool[:n-1]
+		return ds
+	}
+	return &dstState{lastDataPath: -1}
+}
+
 // Retire implements routing.Retirer: hand back buffered packets at run end.
 func (r *Router) Retire() { r.buffer.Retire() }
+
+// Buffered reports how many data packets are parked in the send buffer
+// awaiting discovery (retire-drainage audits).
+func (r *Router) Buffered() int { return r.buffer.Size() }
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "MTS" }
@@ -423,14 +522,42 @@ func (r *Router) Receive(p *packet.Packet, from packet.NodeID) {
 	}
 }
 
-// setFwd installs/refreshes a forwarding entry toward dst for pathID.
+// setFwd installs/refreshes a forwarding entry toward dst for pathID,
+// updating the existing entry in place (no reference to a fwdEntry ever
+// outlives the call that read it).
 func (r *Router) setFwd(dst packet.NodeID, pathID int, next packet.NodeID, checkID uint32) {
 	m := r.fwd[dst]
 	if m == nil {
-		m = make(map[int]*fwdEntry)
+		if n := len(r.fwdMapPool); n > 0 {
+			m = r.fwdMapPool[n-1]
+			r.fwdMapPool[n-1] = nil
+			r.fwdMapPool = r.fwdMapPool[:n-1]
+		} else {
+			m = make(map[int]*fwdEntry)
+		}
 		r.fwd[dst] = m
 	}
-	m[pathID] = &fwdEntry{next: next, checkID: checkID, at: r.env.Scheduler().Now()}
+	e := m[pathID]
+	if e == nil {
+		if n := len(r.fePool); n > 0 {
+			e = r.fePool[n-1]
+			r.fePool[n-1] = nil
+			r.fePool = r.fePool[:n-1]
+		} else {
+			e = &fwdEntry{}
+		}
+		m[pathID] = e
+	}
+	e.next, e.checkID, e.at = next, checkID, r.env.Scheduler().Now()
+}
+
+// dropFwd removes one forwarding entry, returning its struct to the pool.
+func (r *Router) dropFwd(m map[int]*fwdEntry, id int) {
+	if e := m[id]; e != nil {
+		*e = fwdEntry{}
+		r.fePool = append(r.fePool, e)
+	}
+	delete(m, id)
 }
 
 // liveFwd returns the freshest usable forwarding entry toward dst,
@@ -459,14 +586,14 @@ func (r *Router) liveFwd(dst packet.NodeID, pathID int, trail []packet.NodeID) (
 				return e.next, pathID, true
 			}
 		} else {
-			delete(m, pathID)
+			r.dropFwd(m, pathID)
 		}
 	}
 	bestID := -1
 	var best *fwdEntry
 	for id, e := range m {
 		if e.at < cutoff {
-			delete(m, id)
+			r.dropFwd(m, id)
 			continue
 		}
 		if visited(e.next) {
@@ -485,4 +612,7 @@ func (r *Router) liveFwd(dst packet.NodeID, pathID int, trail []packet.NodeID) (
 	return best.next, bestID, true
 }
 
-var _ routing.Protocol = (*Router)(nil)
+var (
+	_ routing.Protocol   = (*Router)(nil)
+	_ routing.Recyclable = (*Router)(nil)
+)

@@ -154,7 +154,7 @@ func (r *Router) rreqAtDestination(h *RREQ, from packet.NodeID) {
 	self := r.env.ID()
 	ds := r.dst[h.Orig]
 	if ds == nil {
-		ds = &dstState{lastDataPath: -1}
+		ds = r.newDstState()
 		r.dst[h.Orig] = ds
 	}
 	route := append(packet.CloneRoute(h.Record), self) // S … D
@@ -167,7 +167,10 @@ func (r *Router) rreqAtDestination(h *RREQ, from packet.NodeID) {
 		// the destination, all the existing legitimate paths are
 		// flushed." (§III-D)
 		ds.bid = h.BID
-		ds.paths = nil
+		for i := range ds.paths {
+			ds.paths[i] = nil
+		}
+		ds.paths = ds.paths[:0]
 		sp := r.storePath(ds, route)
 		r.sendRREP(sp, h)
 		r.ensureChecking(h.Orig)
@@ -248,7 +251,7 @@ func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
 		// Source: adopt the path.
 		ss := r.src[dest]
 		if ss == nil {
-			ss = &srcState{paths: make(map[int]*srcPath)}
+			ss = r.newSrcState()
 			r.src[dest] = ss
 		}
 		ss.paths[h.PathID] = &srcPath{

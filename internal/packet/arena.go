@@ -512,6 +512,32 @@ func (a *Arena) putRoute(buf []NodeID) {
 	a.routes = append(a.routes, buf[:0])
 }
 
+// AcquireRoute copies src into an arena-owned route buffer — the
+// control-plane analogue of SetSourceRoute for routes held by router
+// state (DSR's route cache, SMR's route sets) rather than by a packet.
+// The caller owns the returned slice and must hand it back with
+// ReleaseRoute exactly once (on eviction, flush or retire); unlike
+// packet components there is no ownership flag, so a double release
+// would put the same backing array on the free list twice and alias two
+// later acquisitions. Nil arenas degrade to a plain clone.
+func (a *Arena) AcquireRoute(src []NodeID) []NodeID {
+	if a == nil {
+		return CloneRoute(src)
+	}
+	return a.cloneRoute(src)
+}
+
+// ReleaseRoute returns a route buffer obtained from AcquireRoute to the
+// free list. The buffer must not be referenced afterwards — in Check
+// mode it is poisoned, otherwise it is handed to the next acquirer as-is.
+// Safe on nil arenas and nil slices.
+func (a *Arena) ReleaseRoute(buf []NodeID) {
+	if a == nil {
+		return
+	}
+	a.putRoute(buf)
+}
+
 func (a *Arena) getTCP() *TCPHeader {
 	if n := len(a.tcps); n > 0 {
 		h := a.tcps[n-1]

@@ -128,6 +128,10 @@ type Router struct {
 	pending map[packet.NodeID]*discovery
 	buffer  *routing.SendBuffer
 
+	// entryPool recycles routeEntry structs across runs of a reused
+	// context (the table is cleared at recycle, not reallocated).
+	entryPool []*routeEntry
+
 	// Stats
 	Discoveries uint64
 	RERRsSent   uint64
@@ -138,8 +142,20 @@ type rreqKey struct {
 	bid  uint32
 }
 
-// New creates an AODV router bound to env.
+// recycleKey identifies parked AODV routers in a routing.Recycler.
+const recycleKey = "aodv"
+
+// New creates an AODV router bound to env, reusing a recycled instance's
+// state (table/seen/pending buckets, entry pool, send-buffer buckets)
+// when env carries a routing.Recycler with one parked.
 func New(env routing.Env, cfg Config) *Router {
+	if rec := routing.RecyclerOf(env); rec != nil {
+		if v := rec.Get(recycleKey); v != nil {
+			r := v.(*Router)
+			r.rebind(env, cfg)
+			return r
+		}
+	}
 	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
@@ -151,6 +167,44 @@ func New(env routing.Env, cfg Config) *Router {
 		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
+}
+
+// rebind points a recycled (fully reset) router at the next run's
+// environment and parameters.
+func (r *Router) rebind(env routing.Env, cfg Config) {
+	ar := routing.ArenaOf(env)
+	r.env, r.cfg, r.ar = env, cfg, ar
+	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
+		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
+}
+
+// RecycleInto implements routing.Recyclable: reset all per-run state and
+// park the instance. Route entries return to the entry pool; no packets
+// are released (the arena's Reset already reclaimed them).
+func (r *Router) RecycleInto(rec *routing.Recycler) {
+	for dst, e := range r.table {
+		*e = routeEntry{}
+		r.entryPool = append(r.entryPool, e)
+		delete(r.table, dst)
+	}
+	clear(r.seen)
+	clear(r.pending)
+	r.buffer.Recycle()
+	r.seq, r.bid = 0, 0
+	r.Discoveries, r.RERRsSent = 0, 0
+	r.env = nil
+	rec.Put(recycleKey, r)
+}
+
+// newEntry takes a zeroed routeEntry from the pool, or allocates one.
+func (r *Router) newEntry() *routeEntry {
+	if n := len(r.entryPool); n > 0 {
+		e := r.entryPool[n-1]
+		r.entryPool[n-1] = nil
+		r.entryPool = r.entryPool[:n-1]
+		return e
+	}
+	return &routeEntry{}
 }
 
 // Retire implements routing.Retirer: hand back buffered packets at run end.
@@ -185,7 +239,7 @@ func (r *Router) touch(e *routeEntry) {
 func (r *Router) update(dst, next packet.NodeID, hops int, seq uint32, validSeq bool) *routeEntry {
 	e := r.table[dst]
 	if e == nil {
-		e = &routeEntry{}
+		e = r.newEntry()
 		r.table[dst] = e
 	}
 	accept := !e.valid ||
@@ -513,6 +567,10 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 	r.ar.Release(p)
 }
 
+// Buffered reports how many data packets are parked in the send buffer
+// awaiting discovery (retire-drainage audits).
+func (r *Router) Buffered() int { return r.buffer.Size() }
+
 // RouteTo exposes the current next hop for tests and visualisation.
 func (r *Router) RouteTo(dst packet.NodeID) (next packet.NodeID, hops int, ok bool) {
 	e := r.route(dst)
@@ -522,4 +580,7 @@ func (r *Router) RouteTo(dst packet.NodeID) (next packet.NodeID, hops int, ok bo
 	return e.next, e.hops, true
 }
 
-var _ routing.Protocol = (*Router)(nil)
+var (
+	_ routing.Protocol   = (*Router)(nil)
+	_ routing.Recyclable = (*Router)(nil)
+)

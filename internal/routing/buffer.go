@@ -84,6 +84,35 @@ func (b *SendBuffer) Retire() {
 // Len returns the number of packets buffered for dst.
 func (b *SendBuffer) Len(dst packet.NodeID) int { return len(b.byDst[dst]) }
 
+// Size returns the total number of buffered packets across destinations
+// (retire-drainage audits).
+func (b *SendBuffer) Size() int {
+	n := 0
+	for _, q := range b.byDst {
+		n += len(q)
+	}
+	return n
+}
+
+// Rebind points a recycled buffer at the next run's scheduler, limits,
+// arena and drop hook, keeping the byDst map's buckets. The buffer must
+// be empty (Retire or Recycle first).
+func (b *SendBuffer) Rebind(sched *sim.Scheduler, capacity int, maxAge sim.Duration, ar *packet.Arena, onDrop func(*packet.Packet, string)) {
+	b.cap = capacity
+	b.maxAge = maxAge
+	b.sched = sched
+	b.ar = ar
+	b.onDrop = onDrop
+}
+
+// Recycle empties the buffer without releasing anything: the run is dead
+// and the arena's Reset already reclaimed every packet, so releasing
+// here would double-count. Retire (mid-lifecycle drainage) releases;
+// Recycle (post-mortem state reclamation) only forgets.
+func (b *SendBuffer) Recycle() {
+	clear(b.byDst)
+}
+
 func (b *SendBuffer) expire(q []buffered) []buffered {
 	cutoff := b.sched.Now().Add(-b.maxAge)
 	i := 0

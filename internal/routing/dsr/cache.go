@@ -7,18 +7,44 @@ import "mtsim/internal/packet"
 // never expire — they live until a route error removes a link they use.
 // That is precisely the staleness the paper's Fig. 10 exposes at high
 // speeds.
+//
+// Stored routes live in arena-owned buffers (packet.Arena.AcquireRoute):
+// Add copies the candidate path, so callers may pass scratch or slices
+// aliasing routing headers, and every eviction — capacity replacement,
+// FIFO overflow, RemoveLink, Drain — releases the evicted buffer back to
+// the arena exactly once. Cached routes are never shared into routing
+// headers (RREPs carry their own freshly built routes), which is what
+// makes the mid-run release safe.
 type routeCache struct {
 	owner  packet.NodeID
 	perDst int
 	global int
+	ar     *packet.Arena // nil: plain allocation, evictions go to the GC
 	routes [][]packet.NodeID
 }
 
-func newRouteCache(owner packet.NodeID, perDst, global int) *routeCache {
-	return &routeCache{owner: owner, perDst: perDst, global: global}
+func newRouteCache(owner packet.NodeID, perDst, global int, ar *packet.Arena) *routeCache {
+	return &routeCache{owner: owner, perDst: perDst, global: global, ar: ar}
 }
 
-// Add caches a full path [owner, ..., dst]. Paths with loops, foreign
+// rebind re-parameterises a recycled cache for the next run. The cache
+// must be empty (Drain first).
+func (c *routeCache) rebind(owner packet.NodeID, perDst, global int, ar *packet.Arena) {
+	c.owner, c.perDst, c.global, c.ar = owner, perDst, global, ar
+}
+
+// Drain releases every cached route back to the arena and empties the
+// cache. Idempotent; called at retire and at context recycling.
+func (c *routeCache) Drain() {
+	for i, r := range c.routes {
+		c.ar.ReleaseRoute(r)
+		c.routes[i] = nil
+	}
+	c.routes = c.routes[:0]
+}
+
+// Add caches a full path [owner, ..., dst], copying it into arena-owned
+// storage (the caller keeps its slice). Paths with loops, foreign
 // origins or trivial length are rejected. Returns true if stored.
 func (c *routeCache) Add(path []packet.NodeID) bool {
 	if len(path) < 2 || path[0] != c.owner {
@@ -49,18 +75,23 @@ func (c *routeCache) Add(path []packet.NodeID) bool {
 		if worst < 0 {
 			return false
 		}
-		c.routes[worst] = append([]packet.NodeID(nil), path...)
+		c.ar.ReleaseRoute(c.routes[worst])
+		c.routes[worst] = c.ar.AcquireRoute(path)
 		return true
 	}
 	if len(c.routes) >= c.global {
-		c.routes = c.routes[1:] // FIFO eviction of the oldest route
+		// FIFO eviction of the oldest route.
+		c.ar.ReleaseRoute(c.routes[0])
+		c.routes[0] = nil
+		c.routes = c.routes[1:]
 	}
-	c.routes = append(c.routes, append([]packet.NodeID(nil), path...))
+	c.routes = append(c.routes, c.ar.AcquireRoute(path))
 	return true
 }
 
 // Get returns the shortest cached route to dst (nil if none). The returned
-// slice must not be mutated by the caller.
+// slice must not be mutated or retained across cache mutations by the
+// caller — the next Add or RemoveLink may recycle its backing array.
 func (c *routeCache) Get(dst packet.NodeID) []packet.NodeID {
 	var best []packet.NodeID
 	for _, r := range c.routes {
@@ -93,10 +124,16 @@ func (c *routeCache) RemoveLink(a, b packet.NodeID) int {
 	removed := 0
 	for _, r := range c.routes {
 		if containsLink(r, a, b) {
+			c.ar.ReleaseRoute(r)
 			removed++
 		} else {
 			kept = append(kept, r)
 		}
+	}
+	// Clear the tail so released buffers are not still reachable from the
+	// cache's backing array.
+	for i := len(kept); i < len(c.routes); i++ {
+		c.routes[i] = nil
 	}
 	c.routes = kept
 	return removed

@@ -93,6 +93,10 @@ type Router struct {
 	pending map[packet.NodeID]*discovery
 	buffer  *routing.SendBuffer
 
+	// pathBuf is scratch for assembling candidate cache routes ([self,
+	// tail...]); routeCache.Add copies, so the scratch never escapes.
+	pathBuf []packet.NodeID
+
 	// Stats
 	Discoveries   uint64
 	CacheReplies  uint64
@@ -105,14 +109,26 @@ type seenKey struct {
 	id   uint32
 }
 
-// New creates a DSR router bound to env.
+// recycleKey identifies parked DSR routers in a routing.Recycler.
+const recycleKey = "dsr"
+
+// New creates a DSR router bound to env, reusing a recycled instance's
+// state (maps, cache storage, send-buffer buckets) when env carries a
+// routing.Recycler with one parked.
 func New(env routing.Env, cfg Config) *Router {
+	if rec := routing.RecyclerOf(env); rec != nil {
+		if v := rec.Get(recycleKey); v != nil {
+			r := v.(*Router)
+			r.rebind(env, cfg)
+			return r
+		}
+	}
 	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
 		cfg:     cfg,
 		ar:      ar,
-		cache:   newRouteCache(env.ID(), cfg.CachePerDst, cfg.CacheGlobal),
+		cache:   newRouteCache(env.ID(), cfg.CachePerDst, cfg.CacheGlobal, ar),
 		seen:    make(map[seenKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
 		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
@@ -120,8 +136,38 @@ func New(env routing.Env, cfg Config) *Router {
 	}
 }
 
-// Retire implements routing.Retirer: hand back buffered packets at run end.
-func (r *Router) Retire() { r.buffer.Retire() }
+// rebind points a recycled (fully reset) router at the next run's
+// environment and parameters.
+func (r *Router) rebind(env routing.Env, cfg Config) {
+	ar := routing.ArenaOf(env)
+	r.env, r.cfg, r.ar = env, cfg, ar
+	r.cache.rebind(env.ID(), cfg.CachePerDst, cfg.CacheGlobal, ar)
+	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
+		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
+}
+
+// RecycleInto implements routing.Recyclable: reset all per-run state and
+// park the instance. Packets are not released here (the arena's Reset
+// already reclaimed them); the cache's route buffers are, because the
+// route free list survives Reset.
+func (r *Router) RecycleInto(rec *routing.Recycler) {
+	r.cache.Drain()
+	r.buffer.Recycle()
+	clear(r.seen)
+	clear(r.pending)
+	r.reqID = 0
+	r.pathBuf = r.pathBuf[:0]
+	r.Discoveries, r.CacheReplies, r.Salvages, r.SnoopedRoutes = 0, 0, 0, 0
+	r.env = nil
+	rec.Put(recycleKey, r)
+}
+
+// Retire implements routing.Retirer: hand back buffered packets and the
+// cache's arena-owned routes at run end.
+func (r *Router) Retire() {
+	r.buffer.Retire()
+	r.cache.Drain()
+}
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "DSR" }
@@ -247,7 +293,7 @@ func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
 
 	// Learn the reverse route from the accumulated record:
 	// [self, prev, ..., n1, orig].
-	r.cache.Add(append([]packet.NodeID{self}, reverseRoute(h.Record)...))
+	r.cache.Add(r.scratchSelfPlusReversed(h.Record))
 
 	if h.Target == self {
 		route := append(packet.CloneRoute(h.Record), self)
@@ -386,13 +432,31 @@ func (r *Router) learnFromRoute(route []packet.NodeID) {
 			continue
 		}
 		if i+1 < len(route) {
-			r.cache.Add(packet.CloneRoute(route[i:]))
+			r.cache.Add(route[i:]) // Add copies; aliasing the header is fine
 		}
 		if i > 0 {
-			r.cache.Add(reverseRoute(route[:i+1]))
+			// [self, route[i-1], ..., route[0]] — route[i] is self.
+			r.cache.Add(r.scratchSelfPlusReversed(route[:i]))
 		}
 		return
 	}
+}
+
+// scratchSelfPlus fills the router's scratch path with [self, tail...].
+// Valid until the next scratch call; routeCache.Add copies it.
+func (r *Router) scratchSelfPlus(tail []packet.NodeID) []packet.NodeID {
+	r.pathBuf = append(r.pathBuf[:0], r.env.ID())
+	r.pathBuf = append(r.pathBuf, tail...)
+	return r.pathBuf
+}
+
+// scratchSelfPlusReversed fills the scratch path with [self, seg reversed].
+func (r *Router) scratchSelfPlusReversed(seg []packet.NodeID) []packet.NodeID {
+	r.pathBuf = append(r.pathBuf[:0], r.env.ID())
+	for i := len(seg) - 1; i >= 0; i-- {
+		r.pathBuf = append(r.pathBuf, seg[i])
+	}
+	return r.pathBuf
 }
 
 // TapFrame implements node.FrameTap: promiscuous snooping. An overheard
@@ -418,15 +482,13 @@ func (r *Router) TapFrame(f *packet.Frame) {
 	if txIdx < 0 {
 		return
 	}
-	self := r.env.ID()
 	if suffix := route[txIdx:]; len(suffix) >= 2 {
-		if r.cache.Add(append([]packet.NodeID{self}, suffix...)) {
+		if r.cache.Add(r.scratchSelfPlus(suffix)) {
 			r.SnoopedRoutes++
 		}
 	}
 	if txIdx >= 1 {
-		back := reverseRoute(route[:txIdx+1])
-		if r.cache.Add(append([]packet.NodeID{self}, back...)) {
+		if r.cache.Add(r.scratchSelfPlusReversed(route[:txIdx+1])) {
 			r.SnoopedRoutes++
 		}
 	}
@@ -513,10 +575,17 @@ func (r *Router) salvage(p *packet.Packet, failedNext packet.NodeID) {
 	r.ar.Release(p)
 }
 
+// Buffered reports how many data packets are parked in the send buffer
+// awaiting discovery (retire-drainage audits).
+func (r *Router) Buffered() int { return r.buffer.Size() }
+
 // CacheLen exposes the number of cached routes (tests).
 func (r *Router) CacheLen() int { return r.cache.Len() }
 
 // HasRoute reports whether a route to dst is cached (tests).
 func (r *Router) HasRoute(dst packet.NodeID) bool { return r.cache.Get(dst) != nil }
 
-var _ routing.Protocol = (*Router)(nil)
+var (
+	_ routing.Protocol   = (*Router)(nil)
+	_ routing.Recyclable = (*Router)(nil)
+)

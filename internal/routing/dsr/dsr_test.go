@@ -315,7 +315,7 @@ func TestDiscoveryGivesUp(t *testing.T) {
 // --- cache unit tests ---
 
 func TestCacheAddGet(t *testing.T) {
-	c := newRouteCache(0, 2, 16)
+	c := newRouteCache(0, 2, 16, nil)
 	if !c.Add([]packet.NodeID{0, 1, 2}) {
 		t.Fatal("add failed")
 	}
@@ -337,7 +337,7 @@ func TestCacheAddGet(t *testing.T) {
 }
 
 func TestCacheShortestWins(t *testing.T) {
-	c := newRouteCache(0, 4, 16)
+	c := newRouteCache(0, 4, 16, nil)
 	c.Add([]packet.NodeID{0, 1, 2, 3})
 	c.Add([]packet.NodeID{0, 4, 3})
 	if got := c.Get(3); len(got) != 3 {
@@ -346,7 +346,7 @@ func TestCacheShortestWins(t *testing.T) {
 }
 
 func TestCachePerDstReplacement(t *testing.T) {
-	c := newRouteCache(0, 2, 16)
+	c := newRouteCache(0, 2, 16, nil)
 	c.Add([]packet.NodeID{0, 1, 2, 3, 9})
 	c.Add([]packet.NodeID{0, 4, 5, 9})
 	// Full for dst 9; a longer route is rejected…
@@ -363,7 +363,7 @@ func TestCachePerDstReplacement(t *testing.T) {
 }
 
 func TestCacheRemoveLink(t *testing.T) {
-	c := newRouteCache(0, 4, 16)
+	c := newRouteCache(0, 4, 16, nil)
 	c.Add([]packet.NodeID{0, 1, 2, 3})
 	c.Add([]packet.NodeID{0, 4, 3})
 	removed := c.RemoveLink(1, 2)
@@ -381,7 +381,7 @@ func TestCacheRemoveLink(t *testing.T) {
 }
 
 func TestCacheGetAvoidingLink(t *testing.T) {
-	c := newRouteCache(1, 4, 16)
+	c := newRouteCache(1, 4, 16, nil)
 	c.Add([]packet.NodeID{1, 3, 4})
 	c.Add([]packet.NodeID{1, 2, 4})
 	r := c.GetAvoidingLink(4, 1, 3)

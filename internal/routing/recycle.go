@@ -1,0 +1,69 @@
+package routing
+
+// Recycler is a per-context free list of protocol router instances: the
+// control-plane analogue of the packet arena and sim.RNGRecycler. A
+// router's per-run state — route tables, seen sets, discovery maps, the
+// send buffer's byDst map — is megabytes of map buckets across a large
+// scenario, reallocated on every Context re-run without it. Protocols
+// that implement Recyclable park themselves here between runs (fully
+// reset, holding no packets and no arena-owned routes) and their New
+// constructors take a parked instance back instead of allocating.
+//
+// Instances are keyed by protocol name, so a sweep that alternates
+// protocols keeps one pool per protocol. Like the arena, a Recycler
+// serves one run at a time and is not safe for concurrent use; each
+// sweep worker's scenario.Context owns its own.
+type Recycler struct {
+	lists map[string][]any
+}
+
+// Put parks a reset router instance under key for the next run.
+func (r *Recycler) Put(key string, v any) {
+	if r.lists == nil {
+		r.lists = make(map[string][]any)
+	}
+	r.lists[key] = append(r.lists[key], v)
+}
+
+// Get removes and returns a parked instance for key, or nil if none.
+func (r *Recycler) Get(key string) any {
+	l := r.lists[key]
+	if n := len(l); n > 0 {
+		v := l[n-1]
+		l[n-1] = nil
+		r.lists[key] = l[:n-1]
+		return v
+	}
+	return nil
+}
+
+// Len reports the number of parked instances for key (tests/stats).
+func (r *Recycler) Len(key string) int { return len(r.lists[key]) }
+
+// RecyclerCarrier is implemented by environments that own a router-state
+// recycler (node.Node wired through a reused scenario.Context). Protocol
+// constructors resolve it like the arena: present, they rebind a parked
+// instance; absent, they allocate fresh state as always.
+type RecyclerCarrier interface {
+	StateRecycler() *Recycler
+}
+
+// RecyclerOf resolves env's recycler, or nil when env does not carry one.
+func RecyclerOf(env Env) *Recycler {
+	if c, ok := env.(RecyclerCarrier); ok {
+		return c.StateRecycler()
+	}
+	return nil
+}
+
+// Recyclable is implemented by protocols whose per-run state can be
+// reclaimed across runs. RecycleInto must leave the instance equivalent
+// to a freshly constructed one — maps cleared (buckets kept), counters
+// zeroed, arena-owned route buffers released, no packet references — and
+// park it in rec. It is called by the owning Context after the run is
+// dead (never mid-run), on retired and non-retired scenarios alike, so
+// it must not release packets: the arena's Reset has already reclaimed
+// the data plane, and a second release would be counted as a double.
+type Recyclable interface {
+	RecycleInto(rec *Recycler)
+}

@@ -123,8 +123,16 @@ type Router struct {
 	pending map[packet.NodeID]*discovery
 	buffer  *routing.SendBuffer
 
-	// routes[dst] holds up to two active source routes.
+	// routes[dst] holds up to two active source routes. The route slices
+	// are arena-owned (AcquireRoute) — they are private copies, never
+	// shared into routing headers, released exactly once when a route is
+	// dropped, its set replaced, or the router retired/recycled. The
+	// collectState routes are deliberately NOT arena-owned: the selection
+	// window shares them into in-flight RREP headers.
 	routes map[packet.NodeID]*routeSet
+
+	// rsPool recycles empty routeSet structs across runs.
+	rsPool []*routeSet
 
 	// Stats
 	Discoveries  uint64
@@ -143,8 +151,19 @@ type seenKey struct {
 	id   uint32
 }
 
-// New creates an SMR router bound to env.
+// recycleKey identifies parked SMR routers in a routing.Recycler.
+const recycleKey = "smr"
+
+// New creates an SMR router bound to env, reusing a recycled instance's
+// state when env carries a routing.Recycler with one parked.
 func New(env routing.Env, cfg Config) *Router {
+	if rec := routing.RecyclerOf(env); rec != nil {
+		if v := rec.Get(recycleKey); v != nil {
+			r := v.(*Router)
+			r.rebind(env, cfg)
+			return r
+		}
+	}
 	ar := routing.ArenaOf(env)
 	return &Router{
 		env:     env,
@@ -159,8 +178,70 @@ func New(env routing.Env, cfg Config) *Router {
 	}
 }
 
-// Retire implements routing.Retirer: hand back buffered packets at run end.
-func (r *Router) Retire() { r.buffer.Retire() }
+// rebind points a recycled (fully reset) router at the next run's
+// environment and parameters.
+func (r *Router) rebind(env routing.Env, cfg Config) {
+	ar := routing.ArenaOf(env)
+	r.env, r.cfg, r.ar = env, cfg, ar
+	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
+		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
+}
+
+// RecycleInto implements routing.Recyclable: reset all per-run state and
+// park the instance. Arena-owned route-set buffers are released (the
+// route free list survives arena Reset); packets are not (the arena's
+// Reset already reclaimed them).
+func (r *Router) RecycleInto(rec *routing.Recycler) {
+	r.drainRoutes()
+	r.buffer.Recycle()
+	clear(r.seen)
+	clear(r.collect)
+	clear(r.pending)
+	r.reqID = 0
+	r.Discoveries, r.SecondRoutes, r.SplitToggles = 0, 0, 0
+	r.env = nil
+	rec.Put(recycleKey, r)
+}
+
+// drainRoutes releases every route-set buffer to the arena and parks the
+// emptied routeSet structs for reuse. Idempotent.
+func (r *Router) drainRoutes() {
+	for dst, rs := range r.routes {
+		r.emptyRouteSet(rs)
+		rs.id = 0
+		r.rsPool = append(r.rsPool, rs)
+		delete(r.routes, dst)
+	}
+}
+
+// emptyRouteSet releases rs's routes and resets its round-robin pointer.
+func (r *Router) emptyRouteSet(rs *routeSet) {
+	for i, route := range rs.routes {
+		r.ar.ReleaseRoute(route)
+		rs.routes[i] = nil
+	}
+	rs.routes = rs.routes[:0]
+	rs.next = 0
+}
+
+// newRouteSet takes an empty routeSet from the pool, or allocates one.
+func (r *Router) newRouteSet(id uint32) *routeSet {
+	if n := len(r.rsPool); n > 0 {
+		rs := r.rsPool[n-1]
+		r.rsPool[n-1] = nil
+		r.rsPool = r.rsPool[:n-1]
+		rs.id = id
+		return rs
+	}
+	return &routeSet{id: id}
+}
+
+// Retire implements routing.Retirer: hand back buffered packets and the
+// route sets' arena-owned buffers at run end.
+func (r *Router) Retire() {
+	r.buffer.Retire()
+	r.drainRoutes()
+}
 
 // Name implements routing.Protocol.
 func (r *Router) Name() string { return "SMR" }
@@ -381,9 +462,14 @@ func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
 	}
 	dst := h.Route[len(h.Route)-1]
 	rs := r.routes[dst]
-	if rs == nil || rs.id != h.ID {
-		rs = &routeSet{id: h.ID}
+	if rs == nil {
+		rs = r.newRouteSet(h.ID)
 		r.routes[dst] = rs
+	} else if rs.id != h.ID {
+		// A newer discovery supersedes the set: release the stale routes
+		// and reuse the struct.
+		r.emptyRouteSet(rs)
+		rs.id = h.ID
 	}
 	for _, existing := range rs.routes {
 		if equalRoute(existing, h.Route) {
@@ -391,7 +477,7 @@ func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
 		}
 	}
 	if len(rs.routes) < 2 {
-		rs.routes = append(rs.routes, packet.CloneRoute(h.Route))
+		rs.routes = append(rs.routes, r.ar.AcquireRoute(h.Route))
 	}
 	r.completeDiscovery(dst)
 }
@@ -425,17 +511,26 @@ func (r *Router) handleRERR(p *packet.Packet, from packet.NodeID) {
 	r.forwardSourceRouted(p)
 }
 
-// dropRoutesVia removes routes using the broken link from every route set.
+// dropRoutesVia removes routes using the broken link from every route
+// set, releasing the dropped buffers back to the arena.
 func (r *Router) dropRoutesVia(a, b packet.NodeID) {
 	for dst, rs := range r.routes {
 		kept := rs.routes[:0]
 		for _, route := range rs.routes {
-			if !containsLink(route, a, b) {
+			if containsLink(route, a, b) {
+				r.ar.ReleaseRoute(route)
+			} else {
 				kept = append(kept, route)
 			}
 		}
+		for i := len(kept); i < len(rs.routes); i++ {
+			rs.routes[i] = nil
+		}
 		rs.routes = kept
 		if len(rs.routes) == 0 {
+			rs.next = 0
+			rs.id = 0
+			r.rsPool = append(r.rsPool, rs)
 			delete(r.routes, dst)
 		}
 	}
@@ -536,6 +631,10 @@ func (r *Router) sendRERR(p *packet.Packet, from, to packet.NodeID) {
 	r.env.SendMac(err, back[1])
 }
 
+// Buffered reports how many data packets are parked in the send buffer
+// awaiting discovery (retire-drainage audits).
+func (r *Router) Buffered() int { return r.buffer.Size() }
+
 // RouteCount returns the number of active routes toward dst (tests).
 func (r *Router) RouteCount(dst packet.NodeID) int {
 	if rs := r.routes[dst]; rs != nil {
@@ -586,4 +685,7 @@ func reverseRoute(r []packet.NodeID) []packet.NodeID {
 	return out
 }
 
-var _ routing.Protocol = (*Router)(nil)
+var (
+	_ routing.Protocol   = (*Router)(nil)
+	_ routing.Recyclable = (*Router)(nil)
+)

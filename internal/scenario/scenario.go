@@ -22,6 +22,7 @@ import (
 	"mtsim/internal/node"
 	"mtsim/internal/packet"
 	"mtsim/internal/phy"
+	"mtsim/internal/routing"
 	"mtsim/internal/routing/aodv"
 	"mtsim/internal/routing/dsr"
 	"mtsim/internal/routing/smr"
@@ -191,6 +192,17 @@ type Context struct {
 	nodes     []*node.Node
 	rngs      sim.RNGRecycler
 	arena     *packet.Arena
+
+	// routers parks the previous run's reset routing-protocol instances
+	// (their maps, send-buffer buckets and struct pools) for this run's
+	// constructors to take back — the control-plane analogue of the arena.
+	routers routing.Recycler
+	// Cached per-index RNG derivation labels: the strings are pure
+	// functions of the index, so re-running a context re-derives the same
+	// streams from the same cached bytes instead of re-Sprintf-ing them.
+	placeLabels *sim.LabelCache
+	mobLabels   *sim.LabelCache
+	nodeLabels  *sim.LabelCache
 }
 
 // NewContext returns an empty context; the first Build populates it.
@@ -230,6 +242,20 @@ func (ctx *Context) prepare(rxRange, csRange float64) (*sim.Scheduler, *phy.Chan
 	// math/rand state each, well over a hundred per scenario) re-seed for
 	// this one.
 	ctx.rngs.Recycle()
+	// Likewise its routers: each parks its fully reset control-plane state
+	// (route tables, seen sets, send-buffer buckets) in ctx.routers for
+	// this run's protocol constructors to take back. This must happen here
+	// — after the arena Reset reclaimed the data plane, and regardless of
+	// whether the previous scenario was Retired — and must release no
+	// packets (RecycleInto's contract), or the ledger would double-count.
+	for _, nd := range ctx.nodes {
+		if nd == nil {
+			continue
+		}
+		if rc, ok := nd.Proto.(routing.Recyclable); ok {
+			rc.RecycleInto(&ctx.routers)
+		}
+	}
 	return ctx.sched, ctx.ch, ctx.collector
 }
 
@@ -248,6 +274,21 @@ func (ctx *Context) RunOne(cfg Config) (*metrics.RunMetrics, error) {
 
 // Build wires a scenario from the configuration.
 func Build(cfg Config) (*Scenario, error) { return build(nil, cfg) }
+
+// ctxLabelCaches returns the context's per-index label caches, creating
+// them on first use; without a context it returns fresh single-build
+// caches (same bytes, no cross-run reuse).
+func ctxLabelCaches(ctx *Context) (place, mob, node *sim.LabelCache) {
+	if ctx != nil {
+		if ctx.placeLabels == nil {
+			ctx.placeLabels = sim.NewLabelCache("place")
+			ctx.mobLabels = sim.NewLabelCache("mobility")
+			ctx.nodeLabels = sim.NewLabelCache("node")
+		}
+		return ctx.placeLabels, ctx.mobLabels, ctx.nodeLabels
+	}
+	return sim.NewLabelCache("place"), sim.NewLabelCache("mobility"), sim.NewLabelCache("node")
+}
 
 func build(ctx *Context, cfg Config) (*Scenario, error) {
 	n := cfg.Nodes
@@ -308,6 +349,11 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 	}
 	uids := &packet.UIDSource{}
 
+	// Per-index derivation labels. Context builds cache them across runs;
+	// a fresh build derives from identical strings (LabelCache produces
+	// exactly "<prefix>/<i>"), so both paths seed the same streams.
+	placeL, mobL, nodeL := ctxLabelCaches(ctx)
+
 	for i := 0; i < n; i++ {
 		id := packet.NodeID(i)
 		var mob mobility.Model
@@ -315,18 +361,23 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 			mob = &mobility.Static{P: cfg.Placement[i]}
 		} else if cfg.MaxSpeed <= 0 {
 			// Static but randomly placed.
-			rng := master.Derive(fmt.Sprintf("place/%d", i))
+			rng := master.Derive(placeL.Label(i))
 			mob = &mobility.Static{P: geo.Point{
 				X: rng.Uniform(cfg.Field.MinX, cfg.Field.MaxX),
 				Y: rng.Uniform(cfg.Field.MinY, cfg.Field.MaxY),
 			}}
 		} else {
 			mob = mobility.NewRandomWaypoint(cfg.Field, cfg.MinSpeed, cfg.MaxSpeed,
-				cfg.Pause, master.Derive(fmt.Sprintf("mobility/%d", i)))
+				cfg.Pause, master.Derive(mobL.Label(i)))
 		}
 		nd := node.New(id, s.Sched, s.Channel, cfg.MAC, mob,
-			master.Derive(fmt.Sprintf("node/%d", i)), uids)
+			master.Derive(nodeL.Label(i)), uids)
 		nd.SetArena(s.Arena)
+		if ctx != nil {
+			// Before SetProtocol: the constructor is what takes a parked
+			// router back out of the recycler.
+			nd.SetStateRecycler(&ctx.routers)
+		}
 
 		switch cfg.Protocol {
 		case "DSR":

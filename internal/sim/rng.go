@@ -3,6 +3,7 @@ package sim
 import (
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 )
 
 // splitmix64 advances a 64-bit state and returns the next output of the
@@ -83,6 +84,31 @@ func (p *RNGRecycler) Recycle() {
 
 // Len reports the number of pooled free sources (tests/stats).
 func (p *RNGRecycler) Len() int { return len(p.free) }
+
+// LabelCache memoises indexed RNG derivation labels ("node/0", "node/1",
+// ...). Scenario builds derive several labelled streams per node; the
+// labels are pure functions of the prefix and index, so rebuilding them
+// with fmt.Sprintf on every Context re-run is allocation for no entropy —
+// the strings hash identically — and is the one per-node setup cost
+// RNGRecycler reuse cannot absorb on its own. One cache per prefix;
+// Label(i) is byte-identical to prefix+"/"+itoa(i) by construction, so
+// cached and fresh derivations seed the same streams.
+type LabelCache struct {
+	prefix string
+	labels []string
+}
+
+// NewLabelCache returns an empty cache for prefix (e.g. "node").
+func NewLabelCache(prefix string) *LabelCache { return &LabelCache{prefix: prefix} }
+
+// Label returns the cached "<prefix>/<i>" string, growing the cache on
+// first use of an index. i must be non-negative.
+func (c *LabelCache) Label(i int) string {
+	for len(c.labels) <= i {
+		c.labels = append(c.labels, c.prefix+"/"+strconv.Itoa(len(c.labels)))
+	}
+	return c.labels[i]
+}
 
 // Derive returns a new independent stream labelled relative to this one,
 // drawn from the same recycler when this stream came from one.

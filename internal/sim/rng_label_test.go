@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLabelCacheMatchesSprintf locks the byte-identity that makes cached
+// label derivation safe: Label(i) must equal the fmt.Sprintf the scenario
+// builder used before, for every prefix in use and across out-of-order
+// first accesses.
+func TestLabelCacheMatchesSprintf(t *testing.T) {
+	for _, prefix := range []string{"place", "mobility", "node"} {
+		c := NewLabelCache(prefix)
+		// First access out of order: the cache must backfill 0..i.
+		if got, want := c.Label(17), fmt.Sprintf("%s/%d", prefix, 17); got != want {
+			t.Fatalf("Label(17) = %q, want %q", got, want)
+		}
+		for i := 0; i < 200; i++ {
+			want := fmt.Sprintf("%s/%d", prefix, i)
+			if got := c.Label(i); got != want {
+				t.Fatalf("%s: Label(%d) = %q, want %q", prefix, i, got, want)
+			}
+			if again := c.Label(i); again != want {
+				t.Fatalf("%s: second Label(%d) = %q, want %q", prefix, i, again, want)
+			}
+		}
+	}
+}
+
+// TestLabelCacheDerivesSameStreams is the stream-level guarantee behind
+// the scenario's cached per-node RNG labels: deriving from a cached label
+// must yield exactly the stream the Sprintf-built label yields — same
+// seed, same draws — or context re-runs would diverge from fresh builds.
+func TestLabelCacheDerivesSameStreams(t *testing.T) {
+	c := NewLabelCache("node")
+	for i := 0; i < 50; i++ {
+		cached := NewRNG(42).Derive(c.Label(i))
+		fresh := NewRNG(42).Derive(fmt.Sprintf("node/%d", i))
+		for d := 0; d < 8; d++ {
+			if a, b := cached.Int63(), fresh.Int63(); a != b {
+				t.Fatalf("node/%d draw %d: cached stream %d != fresh stream %d", i, d, a, b)
+			}
+		}
+	}
+}
+
+// TestLabelCacheReuseAcrossRuns simulates two context re-runs: the second
+// run's labels must be the very same strings (no per-run growth), and
+// DeriveSeed over them must match the first run's seeds.
+func TestLabelCacheReuseAcrossRuns(t *testing.T) {
+	c := NewLabelCache("mobility")
+	var first []int64
+	for i := 0; i < 30; i++ {
+		first = append(first, DeriveSeed(7, c.Label(i)))
+	}
+	for i := 0; i < 30; i++ {
+		if got := DeriveSeed(7, c.Label(i)); got != first[i] {
+			t.Fatalf("run 2 label %d derives %d, run 1 derived %d", i, got, first[i])
+		}
+	}
+}

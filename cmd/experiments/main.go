@@ -48,6 +48,12 @@
 // simulations; -journal appends one JSONL record per attempt:
 //
 //	experiments -keep-going -max-retries 2 -run-timeout 5m -journal attempts.jsonl -out results
+//
+// Profiling: -profile-dir writes a CPU profile of the whole invocation
+// (all sweep workers) to <dir>/cpu.pprof for `go tool pprof`, so a slow
+// grid ships its own perf artifact:
+//
+//	experiments -out results -profile-dir results/pprof
 package main
 
 import (
@@ -55,8 +61,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -100,8 +108,15 @@ func main() {
 			"simulated-event watchdog budget per run: livelocked runs are killed cleanly (0 = unlimited)")
 		journalPath = flag.String("journal", "",
 			"append one JSONL record per run attempt (successes, failures, cache hits) to this file")
+		profileDir = flag.String("profile-dir", "",
+			"write a CPU profile of the whole invocation to <dir>/cpu.pprof (inspect with `go tool pprof`); covers the sweep workers, so long grids emit their own perf artifact")
 	)
 	flag.Parse()
+
+	if *profileDir != "" {
+		fail(startCPUProfile(*profileDir))
+		defer stopCPUProfile()
+	}
 
 	if *resume && (*cacheDir == "" || *noCache) {
 		fail(fmt.Errorf("-resume needs -cache-dir (and is incompatible with -no-cache): resumption works by serving completed cells from the cache"))
@@ -271,6 +286,7 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprint(os.Stderr, res.FailedSummary())
 		fmt.Fprintf(os.Stderr, "results above are degraded: %d runs failed every attempt\n", len(res.Failed))
+		stopCPUProfile() // os.Exit skips defers; flush the profile first
 		os.Exit(3)
 	}
 
@@ -381,6 +397,47 @@ func writeFile(dir, name, content string) {
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		stopCPUProfile() // os.Exit skips defers; flush the profile first
 		os.Exit(1)
+	}
+}
+
+// profileStop flushes and closes the -profile-dir CPU profile exactly
+// once; nil when profiling is off.
+var profileStop func()
+
+// startCPUProfile begins a whole-process CPU profile under dir. The
+// profile is closed by stopCPUProfile, which every exit path calls
+// (directly before os.Exit, or via main's defer).
+func startCPUProfile(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "cpu.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	var once sync.Once
+	profileStop = func() {
+		once.Do(func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: closing cpu profile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", path)
+		})
+	}
+	return nil
+}
+
+func stopCPUProfile() {
+	if profileStop != nil {
+		profileStop()
 	}
 }

@@ -251,6 +251,14 @@ type Router struct {
 	checkID    uint32 // this node's checking-round counter as a destination
 	nextPathID int    // monotone per node; avoids aliasing across flushes
 
+	// mp supplies the ECMP hash used to break failover ties. MTS's usable
+	// set is too volatile to cache (paths age out of usability with the
+	// checking clock), so only the table's selector is used — PickIndex
+	// over the usable paths tied at the freshest lastHeard — never its
+	// candidate store. Held rather than recreated so the derived seed
+	// follows the Recycler contract like every other piece of state.
+	mp *routing.MultiPathTable
+
 	// Free lists for the per-flow state structs and the forwarding layer's
 	// inner maps, refilled when the router is recycled across runs. The
 	// storedPath route slices are deliberately NOT pooled: the destination
@@ -412,6 +420,7 @@ func New(env routing.Env, cfg Config) *Router {
 		src:     make(map[packet.NodeID]*srcState),
 		dst:     make(map[packet.NodeID]*dstState),
 		fwd:     make(map[packet.NodeID]map[int]*fwdEntry),
+		mp:      routing.NewMultiPathTable(env.ID()),
 		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
@@ -422,6 +431,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.mp.Rebind(env.ID())
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
 }
@@ -463,6 +473,7 @@ func (r *Router) RecycleInto(rec *routing.Recycler) {
 		delete(r.fwd, dst)
 	}
 	r.buffer.Recycle()
+	r.mp.Recycle()
 	r.bid, r.checkID, r.nextPathID = 0, 0, 0
 	r.Stats = Stats{}
 	r.env = nil

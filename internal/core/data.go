@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sort"
+
 	"mtsim/internal/packet"
 	"mtsim/internal/routing"
+	"mtsim/internal/sim"
 )
 
 // handleData forwards transport packets hop by hop along the entries that
@@ -125,19 +128,31 @@ func (r *Router) failPath(dst packet.NodeID, pathID int) {
 			return // current route unaffected
 		}
 	}
-	// Choose the most recently heard usable alternative.
-	bestID := -1
-	var best *srcPath
+	// Choose the most recently heard usable alternative. Ties at the
+	// freshest lastHeard are the rule, not the exception — one checking
+	// round's packets come back within the same few microseconds — and the
+	// tied paths are exactly as fresh as each other: an equal-cost set. The
+	// ECMP hash picks among them (keyed by destination under this node's
+	// seed), so concurrent sessions failing over at the same instant spread
+	// across the tied paths instead of all piling onto the lowest path ID.
+	var bestAt sim.Time
+	tied := ss.scratch[:0]
 	for id, sp := range ss.paths {
 		if !r.usable(sp) {
 			continue
 		}
-		if best == nil || sp.lastHeard > best.lastHeard ||
-			(sp.lastHeard == best.lastHeard && id < bestID) {
-			best, bestID = sp, id
+		switch {
+		case len(tied) == 0 || sp.lastHeard > bestAt:
+			bestAt = sp.lastHeard
+			tied = append(tied[:0], id)
+		case sp.lastHeard == bestAt:
+			tied = append(tied, id)
 		}
 	}
-	if best != nil {
+	ss.scratch = tied
+	if len(tied) > 0 {
+		sort.Ints(tied) // map order must never leak into behaviour
+		bestID := tied[r.mp.PickIndex(0, dst, len(tied))]
 		if ss.current != bestID {
 			r.Stats.Switches++
 		}

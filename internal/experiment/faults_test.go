@@ -321,7 +321,7 @@ func TestWatchdogEventBudget(t *testing.T) {
 		Reps:      1,
 		SeedBase:  1,
 		KeepGoing: true,
-		Watchdog:  Watchdog{MaxEvents: 50},
+		Watchdog:  Watchdog{MaxEvents: 10},
 		Retry:     RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
 	}
 	res, err := s.Run()

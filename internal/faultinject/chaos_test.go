@@ -190,7 +190,7 @@ func TestRetryBitIdentical(t *testing.T) {
 	for _, plan := range []Plan{
 		{Seed: 1, ErrorRate: 1, FailuresPerCell: 2},
 		{Seed: 1, PanicRate: 1, FailuresPerCell: 2},
-		{Seed: 1, SlowRate: 1, FailuresPerCell: 2, SlowEvents: 40},
+		{Seed: 1, SlowRate: 1, FailuresPerCell: 2, SlowEvents: 8},
 	} {
 		inj := New(plan)
 		s := experiment.Sweep{

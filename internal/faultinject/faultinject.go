@@ -40,7 +40,9 @@ type Plan struct {
 	SlowRate  float64
 	// SlowEvents is the event budget an injected slow run is squeezed
 	// to (the real watchdog then kills the real run mid-flight). Values
-	// below 1 mean 32.
+	// below 1 mean 8 — low enough to trip even the smallest chaos cell
+	// now that batched PHY delivery collapses each transmission's 2·k
+	// arrival events into two.
 	SlowEvents uint64
 	// FailuresPerCell is how many leading attempts of a faulted cell
 	// fail before it heals; values below 1 mean 1. A retry policy with
@@ -57,7 +59,7 @@ func (p Plan) failures() int {
 
 func (p Plan) slowEvents() uint64 {
 	if p.SlowEvents < 1 {
-		return 32
+		return 8
 	}
 	return p.SlowEvents
 }

@@ -162,3 +162,37 @@ func (g *Grid) WithinRange(centre Point, radius float64, dst []int32) []int32 {
 	}
 	return dst
 }
+
+// Hit is one WithinRangeHits result: an item id together with the position
+// snapshot the grid holds for it. Callers whose items cannot have drifted
+// since their last Update (stationary radios) may use P directly and skip a
+// second position lookup; for items that do drift, P is the snapshot the
+// query radius was inflated against and the caller must re-check exactly.
+type Hit struct {
+	ID int32
+	P  Point
+}
+
+// WithinRangeHits is the batch-fill variant of WithinRange: it appends one
+// Hit per item within radius of centre (inclusive), carrying the stored
+// position snapshot alongside the id so one grid pass yields everything a
+// per-transmission receiver batch needs. Order is unspecified but
+// deterministic for a given history of updates, exactly like WithinRange.
+func (g *Grid) WithinRangeHits(centre Point, radius float64, dst []Hit) []Hit {
+	r2 := radius * radius
+	minCX := min(max(int((centre.X-radius-g.origin.X)/g.cell), 0), g.cols-1)
+	maxCX := min(max(int((centre.X+radius-g.origin.X)/g.cell), 0), g.cols-1)
+	minCY := min(max(int((centre.Y-radius-g.origin.Y)/g.cell), 0), g.rows-1)
+	maxCY := min(max(int((centre.Y+radius-g.origin.Y)/g.cell), 0), g.rows-1)
+	for cy := minCY; cy <= maxCY; cy++ {
+		row := g.cells[cy*g.cols+minCX : cy*g.cols+maxCX+1]
+		for _, items := range row {
+			for _, it := range items {
+				if it.p.DistanceSqTo(centre) <= r2 {
+					dst = append(dst, Hit{ID: it.id, P: it.p})
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -13,6 +13,29 @@
 //     corrupt each other (no capture effect). Energy from the
 //     (RxRange, CSRange] ring defers transmitters but does not corrupt.
 //   - A radio that is transmitting cannot receive (half duplex).
+//   - All receivers of one transmission share a single propagation delay:
+//     the distance of the farthest carrier-sensing radio over PropSpeed
+//     (so it is still bounded by MaxPropDelay). Per-receiver delays would
+//     differ by under 2 µs across a 550 m neighbourhood — an order of
+//     magnitude below the 20 µs slot time that quantises every MAC
+//     decision — and a common delay lets the channel deliver a whole
+//     neighbourhood with two scheduler events instead of 2·k (see
+//     "Arrival batching" below and docs/PAPER_MAP.md for the divergence
+//     note).
+//
+// # Arrival batching
+//
+// Transmit resolves its audience once and records every receiver's view —
+// decodability and the forced-corruption verdict — in a pooled per-
+// transmission arrival batch. Two scheduler events per transmission (one
+// batched first-bit, one batched last-bit) then walk the batch in radio-ID
+// order, so the scheduler's heap sees ~k× fewer inserts than the one-
+// event-pair-per-receiver scheme this replaces. The reference mode behind
+// UseUnbatchedArrivals schedules the historical 2·k individual events over
+// the same precomputed batch; because all first-bit events share one
+// timestamp and consecutive insertion sequences (and likewise the
+// last-bit events), the two modes dispatch in exactly the same order and
+// are byte-identical — that equivalence is what the property tests pin.
 //
 // # Receiver lookup
 //
@@ -29,6 +52,7 @@
 package phy
 
 import (
+	"cmp"
 	"math"
 	"slices"
 
@@ -125,32 +149,69 @@ func (r *Radio) Run(arg int) {
 
 const radioTxDone = 0
 
-// Task args for the pooled arrival events.
+// Task args for the batched arrival events. Args ≥ unbatchedArgBase encode
+// a per-receiver event for the UseUnbatchedArrivals reference mode:
+// arg = unbatchedArgBase + 2*index + phase (phase 0 first bit, 1 last bit).
 const (
-	arriveStartArg = 0
-	arriveEndArg   = 1
+	batchStartArg    = 0
+	batchEndArg      = 1
+	unbatchedArgBase = 2
 )
 
-// arrival carries one receiver's view of one frame on the air. A single
-// pooled struct serves both the first-bit and last-bit events; it returns
-// to the channel's free list when the last-bit event has fired (arrival
-// events are never cancelled).
-type arrival struct {
-	ch        *Channel
+// batchRx is one receiver's precomputed view inside an arrivalBatch: the
+// radio, whether the frame is decodable at its position, and the DropFrame
+// verdict. All of it is fixed at transmit time — range is evaluated when
+// the first bit leaves the antenna, matching the model note above.
+type batchRx struct {
 	rcv       *Radio
-	frame     *packet.Frame
 	decodable bool
+	drop      bool
+}
+
+// arrivalBatch carries one transmission's whole audience. It is the Task
+// behind both delivery modes: batched (two events walk rx in order) and
+// unbatched reference (2·len(rx) events index into rx one receiver at a
+// time). A batch stays on the channel's in-flight list from Transmit until
+// its last-bit delivery has run — or until Reset/Retire drains it — and
+// then parks on the free list with its receiver slice's capacity kept.
+// Batches reference the frame but never own it; frame release stays with
+// the MAC's quarantine (the batch's own lifetime is bounded by
+// MaxPropDelay + airtime, inside the quarantine hold).
+type arrivalBatch struct {
+	ch    *Channel
+	frame *packet.Frame
+	rx    []batchRx
+	live  int // outstanding last-bit events (1 batched, len(rx) unbatched)
+	idx   int // position in ch.inflight (swap-remove bookkeeping)
 }
 
 // Run implements sim.Task.
-func (a *arrival) Run(arg int) {
+func (b *arrivalBatch) Run(arg int) {
+	ch := b.ch
 	switch arg {
-	case arriveStartArg:
-		a.ch.arriveStart(a.rcv, a.frame, a.decodable)
-	case arriveEndArg:
-		ch := a.ch
-		ch.arriveEnd(a.rcv, a.frame, a.decodable)
-		ch.arrPool.Put(a)
+	case batchStartArg:
+		for i := range b.rx {
+			e := &b.rx[i]
+			ch.arriveStart(e.rcv, b.frame, e.decodable, e.drop)
+		}
+	case batchEndArg:
+		for i := range b.rx {
+			e := &b.rx[i]
+			ch.arriveEnd(e.rcv, b.frame, e.decodable)
+		}
+		ch.parkBatch(b)
+	default:
+		i, phase := (arg-unbatchedArgBase)/2, (arg-unbatchedArgBase)%2
+		e := &b.rx[i]
+		if phase == 0 {
+			ch.arriveStart(e.rcv, b.frame, e.decodable, e.drop)
+			return
+		}
+		ch.arriveEnd(e.rcv, b.frame, e.decodable)
+		b.live--
+		if b.live == 0 {
+			ch.parkBatch(b)
+		}
 	}
 }
 
@@ -162,15 +223,16 @@ type Channel struct {
 	CSRange float64 // metres, senseable
 	// PropSpeed is the signal propagation speed in metres/second.
 	PropSpeed float64
-	// DropFrame, when non-nil, is consulted for every decodable frame
-	// arrival; returning true force-corrupts that delivery. Used by tests
-	// to inject losses on specific links.
+	// DropFrame, when non-nil, is consulted once per decodable receiver at
+	// transmit time (when the arrival batch is filled); returning true
+	// force-corrupts that delivery. Used by tests to inject losses on
+	// specific links.
 	DropFrame func(f *packet.Frame, to packet.NodeID) bool
 
 	// Spatial index over radio position snapshots.
 	grid        *geo.Grid
 	spareGrid   *geo.Grid // previous run's grid, reusable by EnableGrid
-	scratch     []int32   // reusable WithinRange buffer
+	hits        []geo.Hit // reusable WithinRangeHits buffer
 	spare       []*Radio  // recycled Radio structs (Reset → Attach)
 	movers      []*Radio  // radios whose snapshots go stale (maxSpeed > 0)
 	policyDirty bool      // movers/epoch need recomputation
@@ -183,9 +245,13 @@ type Channel struct {
 	// linear switches Transmit to the O(N) scan over all radios — the
 	// reference implementation the grid path must match bit-for-bit.
 	linear bool
+	// unbatched switches delivery to 2·k individual arrival events over
+	// the same precomputed batch — the reference for the batched path.
+	unbatched bool
 
-	arrPool sim.Pool[arrival]   // recycled arrival structs
-	recPool sim.Pool[reception] // recycled receptions (decode state)
+	inflight  []*arrivalBatch     // batches with deliveries still scheduled
+	batchFree []*arrivalBatch     // parked batches (receiver slices kept)
+	recPool   sim.Pool[reception] // recycled receptions (decode state)
 }
 
 // DefaultRxRange and DefaultCSRange follow the paper (250 m transmission
@@ -212,15 +278,20 @@ func NewChannel(sched *sim.Scheduler, rxRange, csRange float64) *Channel {
 // Reset detaches every radio and restores the channel to its
 // NewChannel(sched, rxRange, csRange) state while keeping the expensive
 // reusable storage: the spatial grid (reused when the next EnableGrid asks
-// for the same geometry), the receiver scratch buffer, the arrival and
-// reception pools, and the Radio structs themselves (recycled through the
-// next Attach calls). A reset channel behaves bit-for-bit like a fresh one;
-// it exists so batch executors (scenario.Context) can run thousands of
-// simulations without rebuilding the medium each time.
+// for the same geometry), the receiver scratch buffer, the arrival-batch
+// and reception pools, and the Radio structs themselves (recycled through
+// the next Attach calls). Arrival batches still in flight are drained
+// first — their scheduled events must never fire again (the caller resets
+// the scheduler alongside, as scenario.Context does), and draining drops
+// the frame references so no retired frame stays reachable through the
+// channel. A reset channel behaves bit-for-bit like a fresh one; it exists
+// so batch executors (scenario.Context) can run thousands of simulations
+// without rebuilding the medium each time.
 func (c *Channel) Reset(rxRange, csRange float64) {
 	if csRange < rxRange {
 		csRange = rxRange
 	}
+	c.drainBatches()
 	c.RxRange = rxRange
 	c.CSRange = csRange
 	c.PropSpeed = defaultPropSpeed
@@ -247,7 +318,60 @@ func (c *Channel) Reset(rxRange, csRange float64) {
 	c.nextRefresh = 0
 	c.exact = false
 	c.linear = false
+	c.unbatched = false
 }
+
+// Retire drains any in-flight arrival batches at run end, dropping their
+// frame references and parking them for reuse. It must only be called once
+// the run is dead: the batches' scheduled events are assumed never to fire
+// again (the owning scenario resets the scheduler before any reuse).
+// Idempotent.
+func (c *Channel) Retire() { c.drainBatches() }
+
+// drainBatches force-parks every in-flight batch.
+func (c *Channel) drainBatches() {
+	for len(c.inflight) > 0 {
+		c.parkBatch(c.inflight[len(c.inflight)-1])
+	}
+}
+
+// getBatch takes a parked batch (or allocates one) and tracks it in flight.
+func (c *Channel) getBatch() *arrivalBatch {
+	var b *arrivalBatch
+	if n := len(c.batchFree); n > 0 {
+		b = c.batchFree[n-1]
+		c.batchFree[n-1] = nil
+		c.batchFree = c.batchFree[:n-1]
+	} else {
+		b = &arrivalBatch{}
+	}
+	b.ch = c
+	b.idx = len(c.inflight)
+	c.inflight = append(c.inflight, b)
+	return b
+}
+
+// parkBatch removes a batch from the in-flight list (swap-remove), clears
+// its frame and receiver references, and returns it to the free list with
+// the receiver slice's capacity intact.
+func (c *Channel) parkBatch(b *arrivalBatch) {
+	last := len(c.inflight) - 1
+	c.inflight[b.idx] = c.inflight[last]
+	c.inflight[b.idx].idx = b.idx
+	c.inflight[last] = nil
+	c.inflight = c.inflight[:last]
+	b.frame = nil
+	b.live = 0
+	for i := range b.rx {
+		b.rx[i] = batchRx{}
+	}
+	b.rx = b.rx[:0]
+	c.batchFree = append(c.batchFree, b)
+}
+
+// InflightBatches reports how many arrival batches are currently on the
+// air (leak audits and tests).
+func (c *Channel) InflightBatches() int { return len(c.inflight) }
 
 // EnableGrid builds the receiver-lookup index over the given field. Call it
 // before attaching radios (scenario builders) for a well-sized grid;
@@ -283,6 +407,15 @@ func (c *Channel) EnableGrid(bounds geo.Rect, cellSize float64) {
 // observably identical; the linear path exists as the reference for
 // equivalence and determinism tests.
 func (c *Channel) UseLinearScan(on bool) { c.linear = on }
+
+// UseUnbatchedArrivals switches delivery between the batched scheme
+// (default: two scheduler events walk the whole arrival batch) and the
+// reference scheme that schedules an individual first-bit and last-bit
+// event per receiver over the same precomputed batch. The two are
+// byte-identical — same timestamps, same dispatch order — and the
+// unbatched path exists, like UseLinearScan, purely as the reference for
+// equivalence tests.
+func (c *Channel) UseUnbatchedArrivals(on bool) { c.unbatched = on }
 
 // Attach registers a radio for a node whose position over time is given by
 // pos. The listener (the node's MAC) must be set before any transmission
@@ -407,12 +540,16 @@ func (c *Channel) Transmit(tx *Radio, f *packet.Frame, airtime sim.Duration) {
 	cs2 := c.CSRange * c.CSRange
 	rx2 := c.RxRange * c.RxRange
 
+	b := c.getBatch()
+	b.frame = f
+	maxD2 := 0.0
+
 	if c.linear {
 		for _, rcv := range c.radios {
 			if rcv == tx {
 				continue
 			}
-			c.deliverTo(rcv, txPos, f, airtime, now, cs2, rx2)
+			maxD2 = c.appendRx(b, rcv, rcv.positionAt(now), txPos, f, cs2, rx2, maxD2)
 		}
 	} else {
 		if c.grid == nil {
@@ -427,42 +564,72 @@ func (c *Channel) Transmit(tx *Radio, f *packet.Frame, airtime sim.Duration) {
 				c.nextRefresh = now.Add(c.epoch)
 			}
 		}
-		c.scratch = c.grid.WithinRange(txPos, c.CSRange+c.slack, c.scratch[:0])
+		c.hits = c.grid.WithinRangeHits(txPos, c.CSRange+c.slack, c.hits[:0])
 		// Candidate order must match the linear scan (= attach order): the
-		// scheduler breaks timestamp ties by insertion sequence, so the
-		// order arrivals are scheduled in is observable.
-		slices.Sort(c.scratch)
-		for _, id := range c.scratch {
-			rcv := c.radios[id]
+		// scheduler breaks timestamp ties by insertion sequence, and the
+		// batch delivers in fill order, so the order receivers enter the
+		// batch is observable.
+		slices.SortFunc(c.hits, func(a, b geo.Hit) int { return cmp.Compare(a.ID, b.ID) })
+		for _, h := range c.hits {
+			rcv := c.radios[h.ID]
 			if rcv == tx {
 				continue
 			}
-			c.deliverTo(rcv, txPos, f, airtime, now, cs2, rx2)
+			p := h.P
+			if rcv.maxSpeed != 0 {
+				// The snapshot may lag a mover by up to the slack margin;
+				// re-check against the exact current position. Stationary
+				// radios' snapshots are exact, so the grid pass already
+				// produced their position (the batch-fill payoff).
+				p = rcv.positionAt(now)
+			}
+			maxD2 = c.appendRx(b, rcv, p, txPos, f, cs2, rx2, maxD2)
+		}
+	}
+
+	if len(b.rx) == 0 {
+		c.parkBatch(b) // empty neighbourhood: no events at all
+	} else {
+		prop := sim.Duration(0)
+		if c.PropSpeed > 0 {
+			prop = sim.Seconds(math.Sqrt(maxD2) / c.PropSpeed)
+		}
+		if c.unbatched {
+			b.live = len(b.rx)
+			for i := range b.rx {
+				c.sched.AfterTask(prop, b, unbatchedArgBase+2*i)
+				c.sched.AfterTask(prop+airtime, b, unbatchedArgBase+2*i+1)
+			}
+		} else {
+			b.live = 1
+			c.sched.AfterTask(prop, b, batchStartArg)
+			c.sched.AfterTask(prop+airtime, b, batchEndArg)
 		}
 	}
 
 	c.sched.AfterTask(airtime, tx, radioTxDone)
 }
 
-// deliverTo distance-checks one candidate receiver against the
-// transmitter's exact position and, if in carrier-sense range, schedules
-// its pooled first-bit and last-bit arrival events.
-func (c *Channel) deliverTo(rcv *Radio, txPos geo.Point, f *packet.Frame, airtime sim.Duration, now sim.Time, cs2, rx2 float64) {
-	d2 := rcv.positionAt(now).DistanceSqTo(txPos)
+// appendRx distance-checks one candidate receiver at position p against
+// the transmitter's exact position and, if in carrier-sense range, appends
+// its precomputed view to the batch. Returns the running maximum squared
+// distance over all in-CS receivers — the batch's common propagation
+// distance.
+func (c *Channel) appendRx(b *arrivalBatch, rcv *Radio, p, txPos geo.Point, f *packet.Frame, cs2, rx2, maxD2 float64) float64 {
+	d2 := p.DistanceSqTo(txPos)
 	if d2 > cs2 {
-		return
+		return maxD2
 	}
-	prop := sim.Duration(0)
-	if c.PropSpeed > 0 {
-		prop = sim.Seconds(math.Sqrt(d2) / c.PropSpeed)
-	}
-	a := c.arrPool.Get()
-	*a = arrival{ch: c, rcv: rcv, frame: f, decodable: d2 <= rx2}
-	c.sched.AfterTask(prop, a, arriveStartArg)
-	c.sched.AfterTask(prop+airtime, a, arriveEndArg)
+	decodable := d2 <= rx2
+	b.rx = append(b.rx, batchRx{
+		rcv:       rcv,
+		decodable: decodable,
+		drop:      decodable && c.DropFrame != nil && c.DropFrame(f, rcv.ID),
+	})
+	return math.Max(maxD2, d2)
 }
 
-func (c *Channel) arriveStart(rcv *Radio, f *packet.Frame, decodable bool) {
+func (c *Channel) arriveStart(rcv *Radio, f *packet.Frame, decodable, drop bool) {
 	rcv.energy++
 	if rcv.energy == 1 && rcv.lis != nil {
 		rcv.lis.EnergyUp()
@@ -481,9 +648,7 @@ func (c *Channel) arriveStart(rcv *Radio, f *packet.Frame, decodable bool) {
 	}
 	rx := c.recPool.Get()
 	rx.frame = f
-	if c.DropFrame != nil && c.DropFrame(f, rcv.ID) {
-		rx.collided = true
-	}
+	rx.collided = drop
 	rcv.rx = rx
 }
 

@@ -188,21 +188,29 @@ func TestPromiscuousDelivery(t *testing.T) {
 	}
 }
 
-func TestPropagationDelayOrdering(t *testing.T) {
+func TestCommonPropagationDelay(t *testing.T) {
+	// One transmission delivers to its whole neighbourhood at a single
+	// propagation delay — the farthest carrier-sensing radio's distance
+	// over PropSpeed — and walks the receivers in radio-ID order.
 	s := sim.NewScheduler()
 	c := NewChannel(s, 250, 550)
 	a := c.Attach(0, fixed(0, 0), &recorder{})
+	var order []packet.NodeID
 	var nearAt, farAt sim.Time
-	near := &hookListener{onRx: func() { nearAt = s.Now() }}
-	far := &hookListener{onRx: func() { farAt = s.Now() }}
+	near := &hookListener{onRx: func() { nearAt = s.Now(); order = append(order, 1) }}
+	far := &hookListener{onRx: func() { farAt = s.Now(); order = append(order, 2) }}
 	c.Attach(1, fixed(10, 0), near)
 	c.Attach(2, fixed(249, 0), far)
 
 	c.Transmit(a, testFrame(0, packet.Broadcast), sim.Millisecond)
 	s.Run()
 
-	if !(nearAt < farAt) {
-		t.Fatalf("near delivery (%v) not before far delivery (%v)", nearAt, farAt)
+	want := sim.Time(0).Add(sim.Millisecond + sim.Seconds(249.0/c.PropSpeed))
+	if nearAt != want || farAt != want {
+		t.Fatalf("deliveries at %v and %v, want common %v", nearAt, farAt, want)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order %v, want radio-ID order [1 2]", order)
 	}
 }
 

@@ -128,6 +128,16 @@ type Router struct {
 	pending map[packet.NodeID]*discovery
 	buffer  *routing.SendBuffer
 
+	// mp remembers, per destination, the next hops of route offers that
+	// were exactly as fresh and exactly as short as the installed route —
+	// the alternatives plain AODV throws away. On link failure a surviving
+	// equal-cost next hop repairs the entry in place instead of
+	// invalidating it, skipping the RERR and the rediscovery flood.
+	// Candidates are NodeIDs, so they never go stale by index; freshness
+	// staleness is handled by invalidating the set whenever the installed
+	// route's sequence number moves.
+	mp *routing.MultiPathTable
+
 	// entryPool recycles routeEntry structs across runs of a reused
 	// context (the table is cleared at recycle, not reallocated).
 	entryPool []*routeEntry
@@ -135,6 +145,7 @@ type Router struct {
 	// Stats
 	Discoveries uint64
 	RERRsSent   uint64
+	Repairs     uint64 // link failures absorbed by an equal-cost next hop
 }
 
 type rreqKey struct {
@@ -164,6 +175,7 @@ func New(env routing.Env, cfg Config) *Router {
 		table:   make(map[packet.NodeID]*routeEntry),
 		seen:    make(map[rreqKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
+		mp:      routing.NewMultiPathTable(env.ID()),
 		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
@@ -174,6 +186,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.mp.Rebind(env.ID())
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
 }
@@ -190,8 +203,9 @@ func (r *Router) RecycleInto(rec *routing.Recycler) {
 	clear(r.seen)
 	clear(r.pending)
 	r.buffer.Recycle()
+	r.mp.Recycle()
 	r.seq, r.bid = 0, 0
-	r.Discoveries, r.RERRsSent = 0, 0
+	r.Discoveries, r.RERRsSent, r.Repairs = 0, 0, 0
 	r.env = nil
 	rec.Put(recycleKey, r)
 }
@@ -248,13 +262,29 @@ func (r *Router) update(dst, next packet.NodeID, hops int, seq uint32, validSeq 
 		(validSeq == e.validSeq && seq == e.seq && hops < e.hops) ||
 		(!validSeq && !e.validSeq)
 	if !accept {
+		// A rejected offer that matches the installed route's freshness and
+		// length exactly is an equal-cost alternative: remember its next hop
+		// for in-place repair when the installed one breaks. Equal sequence
+		// number plus equal hop count preserves AODV's distance invariant,
+		// so switching to it later cannot form a loop.
+		if validSeq && e.validSeq && seq == e.seq && hops == e.hops && next != e.next {
+			r.mp.Register(dst, int32(hops), int32(next))
+		}
 		return e
+	}
+	// Freshness moved (or the entry was dead): every remembered alternative
+	// predates this sequence number and must go. An equally fresh but
+	// shorter route keeps the set only notionally — Register's lower cost
+	// resets it below.
+	if !e.valid || !validSeq || !e.validSeq || seq != e.seq {
+		r.mp.InvalidateDst(dst)
 	}
 	e.next = next
 	e.hops = hops
 	e.seq = seq
 	e.validSeq = validSeq
 	e.valid = true
+	r.mp.Register(dst, int32(hops), int32(next))
 	r.touch(e)
 	return e
 }
@@ -370,6 +400,20 @@ func (r *Router) handleRREQ(p *packet.Packet, from packet.NodeID) {
 	}
 	key := rreqKey{h.Orig, h.BID}
 	if r.seen[key] {
+		// A duplicate copy is not relayed, but it is free topology
+		// intelligence: a neighbour rebroadcasting the same flood at the
+		// same hop count sits at the same distance from the originator
+		// as our installed reverse next hop — an equal-cost alternative
+		// under exactly the invariant update's harvest uses. Duplicates
+		// are where such alternatives actually surface (the first copy
+		// installs the route; later copies arrive via other neighbours),
+		// so without this the multipath table would hold only the
+		// installed next hop. Offer it to the table only: the route
+		// table, relaying decision and RNG streams are untouched.
+		if e := r.route(h.Orig); e != nil && e.validSeq &&
+			e.seq == h.OrigSeq && e.hops == h.Hops+1 && from != e.next {
+			r.mp.Register(h.Orig, int32(e.hops), int32(from))
+		}
 		return
 	}
 	r.seen[key] = true
@@ -475,6 +519,9 @@ func (r *Router) handleRERR(p *packet.Packet, from packet.NodeID) {
 			e.valid = false
 			e.seq = u.Seq
 			e.validSeq = true
+			// The RERR carries a newer sequence number, so every remembered
+			// equal-cost next hop for this destination is now stale.
+			r.mp.InvalidateDst(u.Dst)
 			propagate = append(propagate, u)
 		}
 	}
@@ -537,9 +584,21 @@ func (r *Router) seqFor(dst packet.NodeID) uint32 {
 
 // LinkFailed implements routing.Protocol: MAC retry exhaustion toward next.
 func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
+	// The failed neighbour is no longer a candidate for anything.
+	r.mp.DropCandidate(int32(next))
+	flow := routing.FlowKey(p)
 	var lost []Unreachable
 	for dst, e := range r.table {
 		if e.valid && e.next == next {
+			// Repair in place from a surviving equal-cost next hop: same
+			// sequence number, same hop count, so the entry stays exactly as
+			// fresh and the distance invariant holds — no RERR, no flood.
+			if alt, ok := r.mp.Select(flow, dst); ok {
+				e.next = packet.NodeID(alt)
+				r.touch(e)
+				r.Repairs++
+				continue
+			}
 			e.valid = false
 			e.seq++
 			e.validSeq = true
@@ -552,11 +611,20 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		r.broadcastRERR(lost)
 	}
 
-	// A data packet from this very node restarts discovery; transit
-	// packets are dropped (no local repair — documented simplification).
-	// Ownership of p passed back from the MAC: release it unless it was
-	// re-buffered.
+	// A packet whose route was just repaired in place rides the surviving
+	// equal-cost next hop immediately; otherwise a data packet from this
+	// very node restarts discovery and transit packets are dropped (no
+	// flooding local repair — documented simplification). Ownership of p
+	// passed back from the MAC: every branch re-sends, re-buffers or
+	// releases it.
 	if p.Kind == packet.KindData || p.Kind == packet.KindAck {
+		if e := r.route(p.Dst); e != nil {
+			// Repaired above: the packet must ride the surviving next hop
+			// now — no RREP is coming, so the send buffer would never drain.
+			r.touch(e)
+			r.env.SendMac(p, e.next)
+			return
+		}
 		if p.Src == r.env.ID() {
 			r.buffer.Push(p.Dst, p)
 			r.startDiscovery(p.Dst)
@@ -570,6 +638,9 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 // Buffered reports how many data packets are parked in the send buffer
 // awaiting discovery (retire-drainage audits).
 func (r *Router) Buffered() int { return r.buffer.Size() }
+
+// MultiPath exposes the router's equal-cost table (tests, stats).
+func (r *Router) MultiPath() *routing.MultiPathTable { return r.mp }
 
 // RouteTo exposes the current next hop for tests and visualisation.
 func (r *Router) RouteTo(dst packet.NodeID) (next packet.NodeID, hops int, ok bool) {

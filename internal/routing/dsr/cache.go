@@ -1,6 +1,9 @@
 package dsr
 
-import "mtsim/internal/packet"
+import (
+	"mtsim/internal/packet"
+	"mtsim/internal/routing"
+)
 
 // routeCache stores complete source routes (each beginning at the owning
 // node) with per-destination and global capacity bounds. Basic DSR routes
@@ -21,16 +24,25 @@ type routeCache struct {
 	global int
 	ar     *packet.Arena // nil: plain allocation, evictions go to the GC
 	routes [][]packet.NodeID
+
+	// mp caches, per destination, the indices of all equally short routes
+	// so GetForFlow can hash-pick among them without rescanning. Candidates
+	// are indices into routes, so any mutation that can shift indices
+	// (FIFO eviction, RemoveLink compaction) invalidates everything, and a
+	// per-destination mutation (Add) invalidates that destination.
+	mp *routing.MultiPathTable
 }
 
 func newRouteCache(owner packet.NodeID, perDst, global int, ar *packet.Arena) *routeCache {
-	return &routeCache{owner: owner, perDst: perDst, global: global, ar: ar}
+	return &routeCache{owner: owner, perDst: perDst, global: global, ar: ar,
+		mp: routing.NewMultiPathTable(owner)}
 }
 
 // rebind re-parameterises a recycled cache for the next run. The cache
 // must be empty (Drain first).
 func (c *routeCache) rebind(owner packet.NodeID, perDst, global int, ar *packet.Arena) {
 	c.owner, c.perDst, c.global, c.ar = owner, perDst, global, ar
+	c.mp.Rebind(owner)
 }
 
 // Drain releases every cached route back to the arena and empties the
@@ -41,6 +53,7 @@ func (c *routeCache) Drain() {
 		c.routes[i] = nil
 	}
 	c.routes = c.routes[:0]
+	c.mp.InvalidateAll()
 }
 
 // Add caches a full path [owner, ..., dst], copying it into arena-owned
@@ -77,15 +90,18 @@ func (c *routeCache) Add(path []packet.NodeID) bool {
 		}
 		c.ar.ReleaseRoute(c.routes[worst])
 		c.routes[worst] = c.ar.AcquireRoute(path)
+		c.mp.InvalidateDst(dst)
 		return true
 	}
 	if len(c.routes) >= c.global {
-		// FIFO eviction of the oldest route.
+		// FIFO eviction of the oldest route shifts every index.
 		c.ar.ReleaseRoute(c.routes[0])
 		c.routes[0] = nil
 		c.routes = c.routes[1:]
+		c.mp.InvalidateAll()
 	}
 	c.routes = append(c.routes, c.ar.AcquireRoute(path))
+	c.mp.InvalidateDst(dst)
 	return true
 }
 
@@ -100,6 +116,27 @@ func (c *routeCache) Get(dst packet.NodeID) []packet.NodeID {
 		}
 	}
 	return best
+}
+
+// GetForFlow is Get with ECMP spread: when several equally short routes
+// to dst are cached, the flow's hash picks one, so each flow sticks to a
+// single shortest route while different flows fan out across all of
+// them. Registration is lazy — the first lookup after an invalidation
+// rescans the cache and registers every equal-shortest index. The
+// returned slice obeys Get's aliasing rules.
+func (c *routeCache) GetForFlow(dst packet.NodeID, flow uint64) []packet.NodeID {
+	if !c.mp.Ready(dst) {
+		for i, r := range c.routes {
+			if r[len(r)-1] == dst {
+				c.mp.Register(dst, int32(len(r)), int32(i))
+			}
+		}
+	}
+	idx, ok := c.mp.Select(flow, dst)
+	if !ok {
+		return nil
+	}
+	return c.routes[idx]
 }
 
 // GetAvoidingLink returns the shortest route to dst that does not traverse
@@ -136,6 +173,9 @@ func (c *routeCache) RemoveLink(a, b packet.NodeID) int {
 		c.routes[i] = nil
 	}
 	c.routes = kept
+	if removed > 0 {
+		c.mp.InvalidateAll() // compaction shifted the surviving indices
+	}
 	return removed
 }
 

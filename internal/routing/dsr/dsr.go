@@ -152,6 +152,7 @@ func (r *Router) rebind(env routing.Env, cfg Config) {
 // route free list survives Reset.
 func (r *Router) RecycleInto(rec *routing.Recycler) {
 	r.cache.Drain()
+	r.cache.mp.Recycle()
 	r.buffer.Recycle()
 	clear(r.seen)
 	clear(r.pending)
@@ -183,7 +184,7 @@ func (r *Router) Send(p *packet.Packet) {
 		r.ar.Release(p)
 		return
 	}
-	if route := r.cache.Get(p.Dst); route != nil {
+	if route := r.cache.GetForFlow(p.Dst, routing.FlowKey(p)); route != nil {
 		r.sendAlong(p, route)
 		return
 	}
@@ -251,12 +252,13 @@ func (r *Router) completeDiscovery(dst packet.NodeID) {
 		}
 		delete(r.pending, dst)
 	}
-	route := r.cache.Get(dst)
-	if route == nil {
+	if r.cache.Get(dst) == nil {
 		return
 	}
+	// Per-packet lookup: equally short routes spread across the buffered
+	// flows instead of all draining down one.
 	for _, q := range r.buffer.Pop(dst) {
-		r.sendAlong(q, route)
+		r.sendAlong(q, r.cache.GetForFlow(dst, routing.FlowKey(q)))
 	}
 }
 
@@ -512,7 +514,9 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		r.ar.Release(p) // control packets are not salvaged
 	case p.Src == self:
 		// Our own packet: retry via another cached route or rediscover.
-		if route := r.cache.Get(p.Dst); route != nil {
+		// GetForFlow re-hashes over whatever survived RemoveLink, so a flow
+		// whose pinned route just broke lands on a surviving equal-cost one.
+		if route := r.cache.GetForFlow(p.Dst, routing.FlowKey(p)); route != nil {
 			r.sendAlong(p, route)
 			return
 		}
@@ -584,6 +588,9 @@ func (r *Router) CacheLen() int { return r.cache.Len() }
 
 // HasRoute reports whether a route to dst is cached (tests).
 func (r *Router) HasRoute(dst packet.NodeID) bool { return r.cache.Get(dst) != nil }
+
+// MultiPath exposes the cache's ECMP table (tests, stats harvesting).
+func (r *Router) MultiPath() *routing.MultiPathTable { return r.cache.mp }
 
 var (
 	_ routing.Protocol   = (*Router)(nil)

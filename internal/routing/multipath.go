@@ -1,0 +1,236 @@
+package routing
+
+import "mtsim/internal/packet"
+
+// MultiPathTable is an ECMP-style equal-cost next-hop cache. Protocols
+// that hold several routes of the same cost to one destination — SMR
+// route sets, the DSR route cache, AODV's equally fresh alternate next
+// hops, MTS's equally fresh usable paths — register the candidates here
+// (keyed by destination) and pick one with a deterministic seeded hash of
+// (flow, destination). Hashing pins each flow to one member of the
+// equal-cost set without consuming any RNG stream (the seed is a pure
+// function of the owning node's ID), spreads different flows across the
+// set, and — because the selection is recomputed from whatever candidates
+// survive — turns a link failure into a re-hash instead of a
+// rediscovery.
+//
+// Candidates are opaque int32 handles owned by the protocol: route-cache
+// indices for DSR/SMR, neighbour NodeIDs for AODV. The table never
+// stores routes or packets, so it has no arena interaction; under the PR 7
+// Recycler contract the owning router calls Recycle in its RecycleInto
+// (buckets and candidate-slice capacity kept, stats zeroed) and Rebind
+// when a recycled router is bound to its next run's node.
+//
+// Invalidation is explicit and the protocol's responsibility: any
+// mutation that moves or removes candidates (cache eviction, RemoveLink,
+// route install) must call InvalidateDst or InvalidateAll before the next
+// Select, or Select would return a stale handle. The table is
+// deliberately dumb about this — it cannot know what a handle means.
+type MultiPathTable struct {
+	seed    uint64
+	entries map[packet.NodeID]*mpEntry
+	spare   []*mpEntry
+
+	// Stats: Select outcomes and explicit invalidations.
+	Hits, Misses, Invalidations uint64
+}
+
+type mpEntry struct {
+	cost  int32
+	cands []int32
+}
+
+// NewMultiPathTable returns a table whose hash seed is derived from the
+// owning node's ID — deterministic across runs and independent of every
+// RNG stream, so attaching or consulting the table can never perturb a
+// seeded simulation's random sequences.
+func NewMultiPathTable(owner packet.NodeID) *MultiPathTable {
+	t := &MultiPathTable{entries: make(map[packet.NodeID]*mpEntry)}
+	t.Rebind(owner)
+	return t
+}
+
+// Rebind re-derives the seed for a new owning node (recycled routers).
+// The table must be empty (Recycle first).
+func (t *MultiPathTable) Rebind(owner packet.NodeID) {
+	t.seed = splitmix64(uint64(uint32(owner)) + 0x6D74732D65636D70) // "mts-ecmp"
+}
+
+// Recycle empties the table for the next run, keeping the map's buckets
+// and the candidate slices' capacity, and zeroes the stats. Implements
+// the router-side share of the routing.Recyclable contract.
+func (t *MultiPathTable) Recycle() {
+	for dst, e := range t.entries {
+		t.park(e)
+		delete(t.entries, dst)
+	}
+	t.Hits, t.Misses, t.Invalidations = 0, 0, 0
+}
+
+func (t *MultiPathTable) park(e *mpEntry) {
+	e.cost = 0
+	e.cands = e.cands[:0]
+	t.spare = append(t.spare, e)
+}
+
+func (t *MultiPathTable) take() *mpEntry {
+	if n := len(t.spare); n > 0 {
+		e := t.spare[n-1]
+		t.spare[n-1] = nil
+		t.spare = t.spare[:n-1]
+		return e
+	}
+	return &mpEntry{}
+}
+
+// Ready reports whether dst has a registered candidate set — the
+// protocol's cue to (re)register after an invalidation before selecting.
+func (t *MultiPathTable) Ready(dst packet.NodeID) bool {
+	e := t.entries[dst]
+	return e != nil && len(e.cands) > 0
+}
+
+// Register adds a candidate for dst at the given cost. A strictly lower
+// cost replaces the whole set (ECMP keeps only the minimum), a higher
+// cost is ignored, and an equal cost appends unless the candidate is
+// already present. Registration order is preserved, so for a fixed
+// candidate sequence the set — and therefore every Select — is
+// deterministic.
+func (t *MultiPathTable) Register(dst packet.NodeID, cost, cand int32) {
+	e := t.entries[dst]
+	if e == nil {
+		e = t.take()
+		e.cost = cost
+		t.entries[dst] = e
+	}
+	switch {
+	case len(e.cands) == 0:
+		e.cost = cost
+	case cost > e.cost:
+		return
+	case cost < e.cost:
+		e.cost = cost
+		e.cands = e.cands[:0]
+	}
+	for _, c := range e.cands {
+		if c == cand {
+			return
+		}
+	}
+	e.cands = append(e.cands, cand)
+}
+
+// Select hash-picks one of dst's equal-cost candidates for the flow.
+// Reports false (a miss) when dst has no registered candidates.
+func (t *MultiPathTable) Select(flow uint64, dst packet.NodeID) (int32, bool) {
+	e := t.entries[dst]
+	if e == nil || len(e.cands) == 0 {
+		t.Misses++
+		return 0, false
+	}
+	t.Hits++
+	return e.cands[t.PickIndex(flow, dst, len(e.cands))], true
+}
+
+// SelectWhere is Select restricted to candidates accepted by ok: it
+// starts at the hash-picked position and walks the set in order until a
+// candidate passes, so flows keep their hash affinity whenever their
+// first choice is acceptable. Reports false when no candidate passes.
+func (t *MultiPathTable) SelectWhere(flow uint64, dst packet.NodeID, ok func(int32) bool) (int32, bool) {
+	e := t.entries[dst]
+	if e == nil || len(e.cands) == 0 {
+		t.Misses++
+		return 0, false
+	}
+	n := len(e.cands)
+	start := t.PickIndex(flow, dst, n)
+	for i := 0; i < n; i++ {
+		if c := e.cands[(start+i)%n]; ok(c) {
+			t.Hits++
+			return c, true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Candidates returns dst's current equal-cost set and its cost (tests
+// and introspection). The slice is the table's own storage — read only,
+// valid until the next mutation.
+func (t *MultiPathTable) Candidates(dst packet.NodeID) ([]int32, int32) {
+	e := t.entries[dst]
+	if e == nil {
+		return nil, 0
+	}
+	return e.cands, e.cost
+}
+
+// InvalidateDst drops dst's candidate set (route install, per-dst cache
+// mutation).
+func (t *MultiPathTable) InvalidateDst(dst packet.NodeID) {
+	if e := t.entries[dst]; e != nil {
+		t.park(e)
+		delete(t.entries, dst)
+		t.Invalidations++
+	}
+}
+
+// InvalidateAll drops every candidate set (index-shifting cache
+// compaction, eviction).
+func (t *MultiPathTable) InvalidateAll() {
+	for dst, e := range t.entries {
+		t.park(e)
+		delete(t.entries, dst)
+		t.Invalidations++
+	}
+}
+
+// DropCandidate removes one candidate from every destination's set
+// (a failed next-hop neighbour). Destinations left with no candidates
+// are dropped entirely.
+func (t *MultiPathTable) DropCandidate(cand int32) {
+	for dst, e := range t.entries {
+		kept := e.cands[:0]
+		for _, c := range e.cands {
+			if c != cand {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) != len(e.cands) {
+			t.Invalidations++
+		}
+		e.cands = kept
+		if len(e.cands) == 0 {
+			t.park(e)
+			delete(t.entries, dst)
+		}
+	}
+}
+
+// PickIndex hash-picks an index in [0, n) for (flow, dst) under the
+// table's seed — the raw selection primitive for protocols whose
+// candidate sets are too volatile to cache (MTS's usable-path sets age
+// with the checking clock). Counts neither hit nor miss. n must be > 0.
+func (t *MultiPathTable) PickIndex(flow uint64, dst packet.NodeID, n int) int {
+	x := t.seed ^ splitmix64(flow*0x9E3779B97F4A7C15) ^ splitmix64(uint64(uint32(dst)))
+	return int(splitmix64(x) % uint64(n))
+}
+
+// splitmix64 is the finalising mix of the SplitMix64 generator: a cheap,
+// well-distributed 64-bit permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// FlowKey derives the ECMP flow discriminator for a packet: the TCP flow
+// id when the packet carries one, otherwise a mix of source and
+// destination, so control traffic still spreads deterministically.
+func FlowKey(p *packet.Packet) uint64 {
+	if p.TCP != nil {
+		return uint64(p.TCP.Flow) + 1
+	}
+	return uint64(uint32(p.Src))<<32 | uint64(uint32(p.Dst))
+}

@@ -1,0 +1,226 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"mtsim/internal/packet"
+)
+
+// TestMultiPathSelectDeterministic: two tables bound to the same owner and
+// fed the same registration sequence must produce identical selections for
+// every (flow, dst) — the hash consumes no RNG stream, so the pick is a
+// pure function of (owner, flow, dst, candidate set).
+func TestMultiPathSelectDeterministic(t *testing.T) {
+	build := func() *MultiPathTable {
+		mp := NewMultiPathTable(7)
+		for dst := packet.NodeID(1); dst <= 8; dst++ {
+			for c := int32(10); c < 14; c++ {
+				mp.Register(dst, 3, c)
+			}
+		}
+		return mp
+	}
+	a, b := build(), build()
+	for flow := uint64(0); flow < 64; flow++ {
+		for dst := packet.NodeID(1); dst <= 8; dst++ {
+			ca, oka := a.Select(flow, dst)
+			cb, okb := b.Select(flow, dst)
+			if !oka || !okb || ca != cb {
+				t.Fatalf("flow %d dst %d: selections diverged: (%d,%v) vs (%d,%v)",
+					flow, dst, ca, oka, cb, okb)
+			}
+		}
+	}
+	// Re-selecting the same (flow, dst) must be stable over time.
+	first, _ := a.Select(5, 3)
+	for i := 0; i < 10; i++ {
+		if c, _ := a.Select(5, 3); c != first {
+			t.Fatalf("selection for a fixed (flow, dst) drifted: %d then %d", first, c)
+		}
+	}
+}
+
+// TestMultiPathSpreadsFlows: with several candidates registered, distinct
+// flows must not all collapse onto one member — otherwise the table adds
+// bookkeeping without the ECMP fan-out it exists for.
+func TestMultiPathSpreadsFlows(t *testing.T) {
+	mp := NewMultiPathTable(3)
+	for c := int32(0); c < 4; c++ {
+		mp.Register(9, 2, c)
+	}
+	used := map[int32]bool{}
+	for flow := uint64(0); flow < 256; flow++ {
+		c, ok := mp.Select(flow, 9)
+		if !ok {
+			t.Fatal("unexpected miss")
+		}
+		used[c] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("256 flows all hashed to one candidate of 4: %v", used)
+	}
+}
+
+// TestMultiPathRegisterCostSemantics: strictly lower cost replaces the
+// set, higher cost is ignored, equal cost appends with dedup, and
+// registration order is preserved.
+func TestMultiPathRegisterCostSemantics(t *testing.T) {
+	mp := NewMultiPathTable(1)
+	mp.Register(5, 4, 100)
+	mp.Register(5, 4, 101)
+	mp.Register(5, 4, 100) // duplicate: ignored
+	mp.Register(5, 9, 102) // worse cost: ignored
+	if cands, cost := mp.Candidates(5); cost != 4 || !reflect.DeepEqual(cands, []int32{100, 101}) {
+		t.Fatalf("equal/worse registration wrong: cost %d cands %v", cost, cands)
+	}
+	mp.Register(5, 2, 103) // better cost: resets the set
+	if cands, cost := mp.Candidates(5); cost != 2 || !reflect.DeepEqual(cands, []int32{103}) {
+		t.Fatalf("lower-cost reset wrong: cost %d cands %v", cost, cands)
+	}
+}
+
+// TestMultiPathInvalidation covers the explicit invalidation contract:
+// per-destination drops, full drops, and candidate removal on link
+// failure, with the stats counters moving accordingly.
+func TestMultiPathInvalidation(t *testing.T) {
+	mp := NewMultiPathTable(2)
+	mp.Register(1, 3, 10)
+	mp.Register(1, 3, 11)
+	mp.Register(2, 5, 10)
+	mp.Register(3, 4, 12)
+
+	mp.InvalidateDst(3)
+	if mp.Ready(3) {
+		t.Fatal("dst 3 still ready after InvalidateDst")
+	}
+	if _, ok := mp.Select(0, 3); ok {
+		t.Fatal("Select hit an invalidated destination")
+	}
+	if mp.Misses == 0 {
+		t.Fatal("miss not counted")
+	}
+
+	// Losing next hop 10 must strip it everywhere: dst 1 survives on its
+	// remaining candidate, dst 2 (only candidate 10) disappears entirely.
+	mp.DropCandidate(10)
+	if cands, _ := mp.Candidates(1); !reflect.DeepEqual(cands, []int32{11}) {
+		t.Fatalf("dst 1 after DropCandidate: %v", cands)
+	}
+	if mp.Ready(2) {
+		t.Fatal("dst 2 still ready after its only candidate dropped")
+	}
+	if mp.Invalidations < 3 {
+		t.Fatalf("invalidation counter %d, want >= 3", mp.Invalidations)
+	}
+
+	mp.InvalidateAll()
+	if mp.Ready(1) {
+		t.Fatal("dst 1 still ready after InvalidateAll")
+	}
+}
+
+// TestMultiPathSelectWhere: the filtered variant keeps hash affinity when
+// the first pick passes and walks the set in order when it does not.
+func TestMultiPathSelectWhere(t *testing.T) {
+	mp := NewMultiPathTable(4)
+	for c := int32(20); c < 24; c++ {
+		mp.Register(6, 1, c)
+	}
+	unfiltered, _ := mp.Select(17, 6)
+	if c, ok := mp.SelectWhere(17, 6, func(int32) bool { return true }); !ok || c != unfiltered {
+		t.Fatalf("permissive SelectWhere diverged from Select: %d vs %d", c, unfiltered)
+	}
+	// Reject the hashed pick: the walk must land on a different survivor.
+	c, ok := mp.SelectWhere(17, 6, func(c int32) bool { return c != unfiltered })
+	if !ok || c == unfiltered {
+		t.Fatalf("SelectWhere did not walk past a rejected candidate: (%d, %v)", c, ok)
+	}
+	if _, ok := mp.SelectWhere(17, 6, func(int32) bool { return false }); ok {
+		t.Fatal("SelectWhere reported a hit with every candidate rejected")
+	}
+}
+
+// TestMultiPathRecycleRebind: under the PR 7 contract a recycled table
+// rebound to a new owner must be indistinguishable from a freshly built
+// one — empty, zeroed stats, and the new owner's hash stream.
+func TestMultiPathRecycleRebind(t *testing.T) {
+	mp := NewMultiPathTable(11)
+	for dst := packet.NodeID(1); dst <= 4; dst++ {
+		mp.Register(dst, 2, int32(dst))
+		mp.Select(0, dst)
+	}
+	mp.InvalidateDst(2)
+	mp.Recycle()
+	mp.Rebind(29)
+
+	if mp.Hits != 0 || mp.Misses != 0 || mp.Invalidations != 0 {
+		t.Fatalf("stats survived Recycle: %d/%d/%d", mp.Hits, mp.Misses, mp.Invalidations)
+	}
+	fresh := NewMultiPathTable(29)
+	for dst := packet.NodeID(1); dst <= 4; dst++ {
+		if mp.Ready(dst) {
+			t.Fatalf("dst %d still ready after Recycle", dst)
+		}
+		for c := int32(40); c < 44; c++ {
+			mp.Register(dst, 1, c)
+			fresh.Register(dst, 1, c)
+		}
+	}
+	for flow := uint64(0); flow < 64; flow++ {
+		for dst := packet.NodeID(1); dst <= 4; dst++ {
+			a, _ := mp.Select(flow, dst)
+			b, _ := fresh.Select(flow, dst)
+			if a != b {
+				t.Fatalf("recycled table diverged from fresh (flow %d dst %d): %d vs %d",
+					flow, dst, a, b)
+			}
+		}
+	}
+}
+
+// TestMultiPathOwnerChangesStream: different owners must hash the same
+// (flow, dst) differently somewhere — otherwise every node in the network
+// would make correlated ECMP choices and load would not spread.
+func TestMultiPathOwnerChangesStream(t *testing.T) {
+	a, b := NewMultiPathTable(1), NewMultiPathTable(2)
+	diverged := false
+	for flow := uint64(0); flow < 64 && !diverged; flow++ {
+		diverged = a.PickIndex(flow, 9, 8) != b.PickIndex(flow, 9, 8)
+	}
+	if !diverged {
+		t.Fatal("owners 1 and 2 produced identical pick streams over 64 flows")
+	}
+}
+
+// TestPickIndexBounds: the raw primitive must stay in [0, n) for awkward
+// inputs (flow 0, huge flows, n = 1).
+func TestPickIndexBounds(t *testing.T) {
+	mp := NewMultiPathTable(5)
+	for _, flow := range []uint64{0, 1, ^uint64(0), 0x9E3779B97F4A7C15} {
+		for n := 1; n <= 7; n++ {
+			if got := mp.PickIndex(flow, 3, n); got < 0 || got >= n {
+				t.Fatalf("PickIndex(%d, 3, %d) = %d out of range", flow, n, got)
+			}
+		}
+	}
+}
+
+// TestFlowKey: TCP packets key on the flow id (retransmissions of one
+// flow stay pinned together); non-TCP packets fall back to src/dst.
+func TestFlowKey(t *testing.T) {
+	tcp := &packet.Packet{Src: 1, Dst: 2, TCP: &packet.TCPHeader{Flow: 4}}
+	tcpSameFlow := &packet.Packet{Src: 9, Dst: 8, TCP: &packet.TCPHeader{Flow: 4}}
+	if FlowKey(tcp) != FlowKey(tcpSameFlow) {
+		t.Fatal("same TCP flow keyed differently")
+	}
+	ctl := &packet.Packet{Src: 1, Dst: 2}
+	ctlOther := &packet.Packet{Src: 1, Dst: 3}
+	if FlowKey(ctl) == FlowKey(ctlOther) {
+		t.Fatal("distinct control src/dst pairs collided")
+	}
+	tcpOther := &packet.Packet{Src: 1, Dst: 2, TCP: &packet.TCPHeader{Flow: 5}}
+	if FlowKey(tcp) == FlowKey(tcpOther) {
+		t.Fatal("distinct TCP flows between the same endpoints collided")
+	}
+}

@@ -134,6 +134,15 @@ type Router struct {
 	// rsPool recycles empty routeSet structs across runs.
 	rsPool []*routeSet
 
+	// mp hash-pins flows to a route when a set's primary and standby are
+	// equally long (ModeBackup): instead of every flow riding routes[0],
+	// each flow sticks to one of the equal-cost pair, halving what a single
+	// link failure takes down. Candidates are indices into rs.routes, so
+	// every set mutation invalidates that destination. Split mode keeps its
+	// per-packet round-robin — alternation is the scheme's defining (and
+	// deliberately TCP-hostile) behaviour.
+	mp *routing.MultiPathTable
+
 	// Stats
 	Discoveries  uint64
 	SecondRoutes uint64
@@ -173,6 +182,7 @@ func New(env routing.Env, cfg Config) *Router {
 		collect: make(map[packet.NodeID]*collectState),
 		pending: make(map[packet.NodeID]*discovery),
 		routes:  make(map[packet.NodeID]*routeSet),
+		mp:      routing.NewMultiPathTable(env.ID()),
 		buffer: routing.NewSendBuffer(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 			func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) }),
 	}
@@ -183,6 +193,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.mp.Rebind(env.ID())
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
 }
@@ -194,6 +205,7 @@ func (r *Router) rebind(env routing.Env, cfg Config) {
 func (r *Router) RecycleInto(rec *routing.Recycler) {
 	r.drainRoutes()
 	r.buffer.Recycle()
+	r.mp.Recycle()
 	clear(r.seen)
 	clear(r.collect)
 	clear(r.pending)
@@ -212,6 +224,7 @@ func (r *Router) drainRoutes() {
 		r.rsPool = append(r.rsPool, rs)
 		delete(r.routes, dst)
 	}
+	r.mp.InvalidateAll()
 }
 
 // emptyRouteSet releases rs's routes and resets its round-robin pointer.
@@ -258,7 +271,7 @@ func (r *Router) Send(p *packet.Packet) {
 		return
 	}
 	if rs := r.routes[p.Dst]; rs != nil && len(rs.routes) > 0 {
-		route := r.pickRoute(rs)
+		route := r.pickRoute(p.Dst, rs, routing.FlowKey(p))
 		r.ar.SetSourceRoute(p, route)
 		p.SRIndex = 0
 		r.env.SendMac(p, route[1])
@@ -268,9 +281,23 @@ func (r *Router) Send(p *packet.Packet) {
 	r.startDiscovery(p.Dst)
 }
 
-// pickRoute applies the data-plane mode.
-func (r *Router) pickRoute(rs *routeSet) []packet.NodeID {
+// pickRoute applies the data-plane mode. In backup mode a pair of equally
+// long routes is a genuine equal-cost set, so the flow's hash picks the
+// route — each flow stays pinned to one of the two (no reordering), while
+// different flows spread across both. An unequal pair keeps strict
+// primary/standby semantics.
+func (r *Router) pickRoute(dst packet.NodeID, rs *routeSet, flow uint64) []packet.NodeID {
 	if r.cfg.Mode == ModeBackup || len(rs.routes) == 1 {
+		if len(rs.routes) > 1 && len(rs.routes[1]) == len(rs.routes[0]) {
+			if !r.mp.Ready(dst) {
+				for i, route := range rs.routes {
+					r.mp.Register(dst, int32(len(route)), int32(i))
+				}
+			}
+			if idx, ok := r.mp.Select(flow, dst); ok {
+				return rs.routes[idx]
+			}
+		}
 		return rs.routes[0]
 	}
 	route := rs.routes[rs.next%len(rs.routes)]
@@ -470,6 +497,7 @@ func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
 		// and reuse the struct.
 		r.emptyRouteSet(rs)
 		rs.id = h.ID
+		r.mp.InvalidateDst(dst)
 	}
 	for _, existing := range rs.routes {
 		if equalRoute(existing, h.Route) {
@@ -478,6 +506,7 @@ func (r *Router) handleRREP(p *packet.Packet, from packet.NodeID) {
 	}
 	if len(rs.routes) < 2 {
 		rs.routes = append(rs.routes, r.ar.AcquireRoute(h.Route))
+		r.mp.InvalidateDst(dst)
 	}
 	r.completeDiscovery(dst)
 }
@@ -494,7 +523,7 @@ func (r *Router) completeDiscovery(dst packet.NodeID) {
 		return
 	}
 	for _, q := range r.buffer.Pop(dst) {
-		route := r.pickRoute(rs)
+		route := r.pickRoute(dst, rs, routing.FlowKey(q))
 		r.ar.SetSourceRoute(q, route)
 		q.SRIndex = 0
 		r.env.SendMac(q, route[1])
@@ -525,6 +554,9 @@ func (r *Router) dropRoutesVia(a, b packet.NodeID) {
 		}
 		for i := len(kept); i < len(rs.routes); i++ {
 			rs.routes[i] = nil
+		}
+		if len(kept) != len(rs.routes) {
+			r.mp.InvalidateDst(dst) // indices shifted (or the set emptied)
 		}
 		rs.routes = kept
 		if len(rs.routes) == 0 {
@@ -588,7 +620,7 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		// Use the surviving route, or rediscover (SMR re-floods when the
 		// route set is exhausted).
 		if rs := r.routes[p.Dst]; rs != nil && len(rs.routes) > 0 {
-			route := r.pickRoute(rs)
+			route := r.pickRoute(p.Dst, rs, routing.FlowKey(p))
 			q := r.ar.Copy(p, r.env.UIDs())
 			r.ar.SetSourceRoute(q, route)
 			q.SRIndex = 0
@@ -634,6 +666,9 @@ func (r *Router) sendRERR(p *packet.Packet, from, to packet.NodeID) {
 // Buffered reports how many data packets are parked in the send buffer
 // awaiting discovery (retire-drainage audits).
 func (r *Router) Buffered() int { return r.buffer.Size() }
+
+// MultiPath exposes the router's equal-cost table (tests, stats).
+func (r *Router) MultiPath() *routing.MultiPathTable { return r.mp }
 
 // RouteCount returns the number of active routes toward dst (tests).
 func (r *Router) RouteCount(dst packet.NodeID) int {

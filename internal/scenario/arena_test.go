@@ -40,6 +40,17 @@ func assertArenaClean(t *testing.T, a *packet.Arena) {
 	}
 }
 
+// assertChannelDrained fails the test if the retired scenario's channel
+// still tracks arrival batches: Retire must cancel every outstanding
+// batched delivery and return the batch buffers to the channel's pool, or
+// recycled contexts would replay stale receivers into the next run.
+func assertChannelDrained(t *testing.T, s *Scenario) {
+	t.Helper()
+	if n := s.Channel.InflightBatches(); n != 0 {
+		t.Errorf("leak: %d arrival batches still in flight after retire", n)
+	}
+}
+
 // arenaLeakConfig is a full mobile 50-node run, short enough to grid over
 // every protocol × adversary model.
 func arenaLeakConfig(proto string) Config {
@@ -83,6 +94,7 @@ func TestArenaLeakAccountingAllProtocols(t *testing.T) {
 				}
 				s.Retire()
 				assertArenaClean(t, s.Arena)
+				assertChannelDrained(t, s)
 			})
 		}
 	}
@@ -130,6 +142,7 @@ func TestArenaLeakAccountingCountermeasures(t *testing.T) {
 			}
 			s.Retire()
 			assertArenaClean(t, s.Arena)
+			assertChannelDrained(t, s)
 		})
 	}
 }

@@ -169,6 +169,10 @@ func (s *Scenario) Retire() {
 	for _, nd := range s.Nodes {
 		nd.Retire()
 	}
+	// Arrival batches still on the air reference frames the nodes just
+	// released; drain them so no retired frame stays reachable through the
+	// channel (their events never fire again — the run is dead).
+	s.Channel.Retire()
 }
 
 // Context is a reusable bundle of the expensive per-run simulation

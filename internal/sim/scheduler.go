@@ -13,7 +13,11 @@ package sim
 //     argument and are fire-and-forget: no handle is returned and the Event
 //     is recycled into a free list the moment it leaves the heap. They cost
 //     zero steady-state allocations, which is what the PHY broadcast hot
-//     path needs (two arrivals per receiver per frame).
+//     path needs: two batched arrival events per frame (first-bit and
+//     last-bit, each iterating the whole receiver batch), or two events
+//     per receiver per frame in the unbatched reference mode. Either way
+//     one executed event may deliver to many radios — Executed counts
+//     scheduler dispatches, not per-receiver deliveries.
 type Event struct {
 	at        Time
 	seq       uint64 // creation order; breaks ties deterministically (FIFO)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-chaos vet bench bench-smoke sweep-demo clean
+.PHONY: build test test-race test-chaos vet bench bench-smoke sweep-demo sweepd-demo clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ sweep-demo:
 	  status=$$?; cat .sweep-demo-cache/stderr.log >&2; \
 	  [ $$status -eq 0 ] && grep -q '8 hits, 0 misses' .sweep-demo-cache/stderr.log
 	rm -rf .sweep-demo-cache
+
+# Distributed sweep fabric demo (cmd/sweepd, internal/sweepfabric):
+# boots a coordinator, shards a mini-sweep across two separate worker
+# processes, and asserts the warm re-query is served from the
+# rendered-query memo with zero cells simulated (the script fails
+# otherwise — it is the CI fabric job's local equivalent).
+sweepd-demo:
+	bash scripts/sweepd_demo.sh
 
 clean:
 	$(GO) clean ./...

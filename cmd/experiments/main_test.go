@@ -1,0 +1,77 @@
+package main
+
+// Regression test for the -only validation: an unknown artefact ID must
+// be a fast non-zero exit that names the valid values — not a full
+// sweep that renders nothing and exits 0. The test re-executes its own
+// binary as the experiments command (the standard helper-process
+// pattern), so the real main(), flag parsing and exit path are under
+// test.
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHelperProcess is not a test: re-invoked by the tests below with
+// GO_WANT_HELPER_PROCESS set, it becomes the experiments binary.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("GO_WANT_HELPER_PROCESS") != "1" {
+		t.Skip("helper process stub")
+	}
+	os.Args = append([]string{"experiments"}, strings.Fields(os.Getenv("HELPER_ARGS"))...)
+	// main registers its flags on the global CommandLine, which the
+	// test framework already populated — start it fresh.
+	flag.CommandLine = flag.NewFlagSet("experiments", flag.ExitOnError)
+	main()
+	os.Exit(0)
+}
+
+func runExperiments(t *testing.T, args string) ([]byte, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess")
+	cmd.Env = append(os.Environ(), "GO_WANT_HELPER_PROCESS=1", "HELPER_ARGS="+args)
+	return cmd.CombinedOutput()
+}
+
+func TestUnknownOnlyExitsNonZeroWithoutSimulating(t *testing.T) {
+	start := time.Now()
+	out, err := runExperiments(t, "-only fig12")
+	elapsed := time.Since(start)
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("-only fig12 exited 0; a typo silently ran the sweep\noutput: %s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "fig12") {
+		t.Fatalf("error does not name the bad value:\n%s", text)
+	}
+	if !strings.Contains(text, "fig5") || !strings.Contains(text, "countermeasure") {
+		t.Fatalf("error does not list the valid artefact IDs:\n%s", text)
+	}
+	if strings.Contains(text, "running") {
+		t.Fatalf("the sweep banner printed — simulation started before validation:\n%s", text)
+	}
+	// Seconds, not the minutes a 200 s × 75-cell sweep takes: the
+	// failure happened before any simulation.
+	if elapsed > 30*time.Second {
+		t.Fatalf("rejection took %s — it simulated first", elapsed)
+	}
+}
+
+func TestValidOnlyValuesPassValidation(t *testing.T) {
+	for _, v := range []string{"all", "table1", "timeseries", "adversary", "countermeasure", "fig5", "fig11"} {
+		if err := validateOnly(v); err != nil {
+			t.Errorf("validateOnly(%q) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []string{"fig12", "fig4", "table2", "", "Fig5"} {
+		if err := validateOnly(v); err == nil {
+			t.Errorf("validateOnly(%q) accepted an unknown artefact", v)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Command sweepd is the distributed sweep fabric's daemon and toolbelt
+// (see internal/sweepfabric): one binary with three roles.
+//
+// Coordinator + query service:
+//
+//	sweepd serve -addr 127.0.0.1:7077 -cache-dir /var/mtsim-cache
+//
+// partitions enqueued sweeps into leases for workers, aggregates
+// results in a content-addressed run cache, and answers figure queries
+// over HTTP — warm queries are served from a rendered-query memo
+// without touching the simulator. `-local-workers N` makes the server
+// self-sufficient for small grids by running N resident worker loops
+// in-process.
+//
+// Worker fleet:
+//
+//	sweepd worker -coordinator http://127.0.0.1:7077 -parallel 4
+//
+// claims cell leases, simulates them through the engine's
+// fault-tolerance layer (panic isolation, deterministic retries, run
+// watchdog), and publishes results back. Workers are stateless: kill
+// one mid-grid and its lease expires, the cells re-queue, and any cell
+// it already published is a cache hit on re-lease. `-cache-dir` gives a
+// worker a local result tier shared with other workers on the host.
+//
+// Queries:
+//
+//	sweepd query -coordinator http://127.0.0.1:7077 -fig fig7 -format csv
+//
+// fetches one figure, table or CSV. `-require-warm` asserts the answer
+// came from the rendered memo (used by CI to prove a re-query simulates
+// nothing).
+//
+// Every result is content-addressed by its full configuration and seed
+// (runcache), and the simulator is deterministic, so a fabric sweep's
+// aggregates are byte-identical to a single-process run — `sweepd` adds
+// wall-clock parallelism and crash tolerance, never new behaviour.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/runcache"
+	"mtsim/internal/scenario"
+	"mtsim/internal/sim"
+	"mtsim/internal/sweepfabric"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		runServe(os.Args[2:])
+	case "worker":
+		runWorker(os.Args[2:])
+	case "query":
+		runQuery(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sweepd: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  sweepd serve  -cache-dir DIR [-addr HOST:PORT] [-local-workers N] ...
+  sweepd worker -coordinator URL [-parallel N] [-cache-dir DIR] ...
+  sweepd query  -coordinator URL -fig ID [-format table|csv] ...
+
+Run 'sweepd <subcommand> -h' for the full flag list.
+`)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// signalContext is the daemon lifetime: cancelled by SIGINT/SIGTERM.
+func signalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return ctx
+}
+
+// executorFlags registers the engine fault-tolerance knobs shared by
+// serve's local workers and the worker subcommand.
+type executorFlags struct {
+	maxRetries *int
+	runTimeout *time.Duration
+	runEvents  *uint64
+	journal    *string
+}
+
+func addExecutorFlags(fs *flag.FlagSet) executorFlags {
+	return executorFlags{
+		maxRetries: fs.Int("max-retries", 0, "re-attempts per failed cell (same seed; a retry is byte-identical)"),
+		runTimeout: fs.Duration("run-timeout", 0, "wall-clock watchdog per run (0 = unlimited)"),
+		runEvents:  fs.Uint64("run-events", 0, "simulated-event watchdog budget per run (0 = unlimited)"),
+		journal:    fs.String("journal", "", "append one JSONL record per attempt to this file"),
+	}
+}
+
+func (ef executorFlags) build() (experiment.Executor, *experiment.Journal, error) {
+	exec := experiment.Executor{
+		Watchdog: experiment.Watchdog{MaxEvents: *ef.runEvents, WallClock: *ef.runTimeout},
+	}
+	if *ef.maxRetries > 0 {
+		exec.Retry = experiment.RetryPolicy{
+			MaxAttempts: *ef.maxRetries + 1,
+			Backoff:     time.Second,
+			MaxBackoff:  30 * time.Second,
+		}
+	}
+	var j *experiment.Journal
+	if *ef.journal != "" {
+		var err error
+		if j, err = experiment.OpenJournal(*ef.journal); err != nil {
+			return exec, nil, err
+		}
+		exec.Journal = j
+	}
+	return exec, j, nil
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+		cacheDir     = fs.String("cache-dir", "", "content-addressed result store directory (required)")
+		leaseTTL     = fs.Duration("lease-ttl", sweepfabric.DefaultTTL, "how long a worker owns leased cells before they are reclaimable")
+		maxAttempts  = fs.Int("max-cell-attempts", sweepfabric.DefaultMaxAttempts, "lease grants per cell before it is marked permanently failed")
+		pollHint     = fs.Duration("poll-hint", sweepfabric.DefaultPollHint, "poll interval hinted to idle workers")
+		localWorkers = fs.Int("local-workers", 0, "resident in-process worker loops (0 = rely on external sweepd workers)")
+		batch        = fs.Int("batch", 2, "cells per lease for the resident workers")
+		nodes        = fs.Int("nodes", 50, "figure queries: number of nodes in the base configuration")
+		duration     = fs.Float64("duration", 200, "figure queries: simulated seconds per run")
+		queryTimeout = fs.Duration("query-timeout", sweepfabric.DefaultQueryTimeout, "how long a cold figure query waits for the fleet")
+		quiet        = fs.Bool("q", false, "suppress startup and progress output")
+	)
+	ef := addExecutorFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *cacheDir == "" {
+		fail(fmt.Errorf("serve: -cache-dir is required (the shared result store)"))
+	}
+	store, err := runcache.Open(*cacheDir)
+	fail(err)
+	board := sweepfabric.NewBoard(store)
+	board.TTL = *leaseTTL
+	board.MaxAttempts = *maxAttempts
+	board.PollHint = *pollHint
+
+	base := scenario.DefaultConfig()
+	base.Nodes = *nodes
+	base.Duration = sim.Seconds(*duration)
+	srv := sweepfabric.NewServer(board)
+	srv.Base = base
+	srv.QueryTimeout = *queryTimeout
+
+	ctx := signalContext()
+	if *localWorkers > 0 {
+		exec, journal, err := ef.build()
+		fail(err)
+		if journal != nil {
+			defer journal.Close()
+		}
+		w := &sweepfabric.Worker{
+			Coordinator: board, // in-process: no HTTP between server and residents
+			Name:        "resident",
+			Parallel:    *localWorkers,
+			Batch:       *batch,
+			Cache:       store,
+			Exec:        exec,
+		}
+		go w.Run(ctx) //nolint:errcheck // lives until shutdown
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	fail(err)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweepd: serving on http://%s (store %s, %d entries, lease TTL %s, %d resident workers)\n",
+			ln.Addr(), *cacheDir, store.Len(), *leaseTTL, *localWorkers)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "sweepd: shut down")
+	}
+}
+
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("sweepd worker", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:7077 (required)")
+		name        = fs.String("name", "", "worker name in stats and journals (default host:pid)")
+		parallel    = fs.Int("parallel", 1, "concurrent lease loops, each with its own simulation context")
+		batch       = fs.Int("batch", 1, "cells claimed per lease")
+		cacheDir    = fs.String("cache-dir", "", "local result tier probed before simulating and filled after (optional)")
+		poll        = fs.Duration("poll", sweepfabric.DefaultWorkerPoll, "idle sleep between empty lease responses")
+		idleExit    = fs.Duration("idle-exit", 0, "exit after this long without work (0 = run until signalled)")
+		throttle    = fs.Duration("throttle", 0, "sleep before each simulated cell (test/demo pacing)")
+		waitReady   = fs.Duration("wait-ready", 10*time.Second, "how long to wait for the coordinator at startup")
+		quiet       = fs.Bool("q", false, "suppress the exit summary")
+	)
+	ef := addExecutorFlags(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *coordinator == "" {
+		fail(fmt.Errorf("worker: -coordinator is required"))
+	}
+	client := sweepfabric.NewClient(*coordinator)
+	fail(client.WaitReady(*waitReady))
+
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	exec, journal, err := ef.build()
+	fail(err)
+	w := &sweepfabric.Worker{
+		Coordinator: client,
+		Name:        *name,
+		Parallel:    *parallel,
+		Batch:       *batch,
+		Exec:        exec,
+		Poll:        *poll,
+		IdleExit:    *idleExit,
+		Throttle:    *throttle,
+	}
+	if *cacheDir != "" {
+		store, err := runcache.Open(*cacheDir)
+		fail(err)
+		w.Cache = store
+	}
+	runErr := w.Run(signalContext())
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd: journal:", err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweepd worker %s: %d cells completed (%d cached), %d failed\n",
+			*name, w.Completed(), w.CachedHits(), w.FailedCells())
+	}
+	if runErr != nil && runErr != context.Canceled {
+		fail(runErr)
+	}
+}
+
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("sweepd query", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (required)")
+		figID       = fs.String("fig", "", "figure ID, e.g. fig5 (required)")
+		format      = fs.String("format", "table", "table or csv")
+		protocols   = fs.String("protocols", "", "comma-separated protocols (default: the paper grid)")
+		speeds      = fs.String("speeds", "", "comma-separated MAXSPEED values (default: the paper grid)")
+		reps        = fs.Int("reps", 0, "repetitions per cell (default: the paper grid)")
+		seedBase    = fs.Int64("seedbase", 0, "first seed (0 = server default)")
+		nodes       = fs.Int("nodes", 0, "nodes in the base configuration (0 = server default)")
+		duration    = fs.Float64("duration", 0, "simulated seconds per run (0 = server default)")
+		tcpStart    = fs.Float64("tcpstart", -1, "TCP start time in simulated seconds (-1 = server default; short -duration demos need it below the duration)")
+		timeout     = fs.Duration("timeout", 0, "cold-query wait budget (0 = server default)")
+		requireWarm = fs.Bool("require-warm", false, "fail unless the answer came from the rendered-query memo (proves zero simulation)")
+		waitReady   = fs.Duration("wait-ready", 10*time.Second, "how long to wait for the coordinator at startup")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *coordinator == "" || *figID == "" {
+		fail(fmt.Errorf("query: -coordinator and -fig are required"))
+	}
+	client := sweepfabric.NewClient(*coordinator)
+	fail(client.WaitReady(*waitReady))
+
+	q := url.Values{}
+	q.Set("fig", *figID)
+	q.Set("format", *format)
+	if *protocols != "" {
+		q.Set("protocols", *protocols)
+	}
+	if *speeds != "" {
+		q.Set("speeds", *speeds)
+	}
+	if *reps > 0 {
+		q.Set("reps", strconv.Itoa(*reps))
+	}
+	if *seedBase != 0 {
+		q.Set("seedbase", strconv.FormatInt(*seedBase, 10))
+	}
+	if *nodes > 0 {
+		q.Set("nodes", strconv.Itoa(*nodes))
+	}
+	if *duration > 0 {
+		q.Set("duration", strconv.FormatFloat(*duration, 'g', -1, 64))
+	}
+	if *tcpStart >= 0 {
+		q.Set("tcpstart", strconv.FormatFloat(*tcpStart, 'g', -1, 64))
+	}
+	if *timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	resp, err := http.Get(*coordinator + "/v1/figure?" + q.Encode())
+	fail(err)
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fail(err)
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, body))
+	}
+	mode := resp.Header.Get("X-Sweepd-Query")
+	fmt.Fprintf(os.Stderr, "sweepd query: %s (cached=%s simulated=%s)\n",
+		mode, resp.Header.Get("X-Sweepd-Cached"), resp.Header.Get("X-Sweepd-Simulated"))
+	os.Stdout.Write(body) //nolint:errcheck
+	if *requireWarm && mode != "warm" {
+		fail(fmt.Errorf("query: answer was %q, not warm — the rendered memo missed", mode))
+	}
+}

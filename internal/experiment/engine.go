@@ -230,13 +230,21 @@ func OpenJournal(path string) (*Journal, error) {
 	return &Journal{w: f, c: f}, nil
 }
 
-// Record appends one attempt line.
+// Record appends one attempt line. A record that cannot be marshalled
+// (NaN speeds are the realistic case — encoding/json rejects them) is
+// dropped like any other failed write: counted against Err, never
+// against the sweep.
 func (j *Journal) Record(rec AttemptRecord) {
 	if j == nil {
 		return
 	}
 	doc, err := json.Marshal(rec)
 	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = fmt.Errorf("journal: marshal: %w", err)
+		}
+		j.mu.Unlock()
 		return
 	}
 	doc = append(doc, '\n')
@@ -274,19 +282,78 @@ func (j *Journal) Close() error {
 	return j.c.Close()
 }
 
-// job is one grid cell dispatched to the worker pool.
+// CellJob is one grid cell as the fabric ships it around: the
+// aggregation key plus the complete configuration (seed included). The
+// configuration is plain data — it survives a JSON round trip with its
+// content address (runcache.Key) unchanged, which is what lets a
+// coordinator lease cells to workers on other processes and hosts.
+type CellJob struct {
+	Key    CellKey         `json:"key"`
+	Config scenario.Config `json:"config"`
+}
+
+// job is CellJob's internal shorthand in the worker-pool plumbing.
 type job struct {
 	key CellKey
 	cfg scenario.Config
 }
 
-// journalAttempt writes one attempt (or cache hit) to the sweep's
-// journal, if any.
-func (s Sweep) journalAttempt(j job, attempt int, outcome, errMsg string, events uint64, wall time.Duration) {
-	if s.Journal == nil {
+// Jobs enumerates the sweep's full grid in the engine's deterministic
+// dispatch order — protocol × speed × adversary × countermeasure ×
+// repetition, repetition r seeded SeedBase+r. It is the job source a
+// distributed coordinator (internal/sweepfabric) partitions into leases:
+// Run dispatches exactly these cells, so a fabric that completes them
+// all lets Run aggregate entirely from cache.
+func (s Sweep) Jobs() []CellJob {
+	specs, labels := s.advAxis()
+	cmSpecs, cmLabels := s.cmAxis()
+	var jobs []CellJob
+	for _, p := range s.Protocols {
+		for _, v := range s.Speeds {
+			for a := range specs {
+				for c := range cmSpecs {
+					for r := 0; r < s.Reps; r++ {
+						cfg := s.Base
+						cfg.Protocol = p
+						cfg.MaxSpeed = v
+						cfg.Adversary = specs[a]
+						cfg.Countermeasure = cmSpecs[c]
+						cfg.Seed = s.SeedBase + int64(r)
+						jobs = append(jobs, CellJob{
+							Key:    CellKey{Protocol: p, Speed: v, Adversary: labels[a], Countermeasure: cmLabels[c]},
+							Config: cfg,
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// Executor is the engine's per-cell fault-tolerance machinery — panic
+// isolation, deterministic retries, the run watchdog, attempt journal —
+// factored out of Sweep so out-of-process workers (internal/sweepfabric)
+// run leased cells through exactly the attempt path a local sweep uses.
+// The zero Executor runs each cell once with DefaultRunner, unwatched.
+type Executor struct {
+	Runner   Runner
+	Retry    RetryPolicy
+	Watchdog Watchdog
+	Journal  *Journal
+}
+
+// executor bundles the sweep's fault-tolerance knobs for its workers.
+func (s Sweep) executor() Executor {
+	return Executor{Runner: s.Runner, Retry: s.Retry, Watchdog: s.Watchdog, Journal: s.Journal}
+}
+
+// journalAttempt writes one attempt (or cache hit) to the journal, if any.
+func (e Executor) journalAttempt(j job, attempt int, outcome, errMsg string, events uint64, wall time.Duration) {
+	if e.Journal == nil {
 		return
 	}
-	s.Journal.Record(AttemptRecord{
+	e.Journal.Record(AttemptRecord{
 		Protocol:       j.key.Protocol,
 		Speed:          j.key.Speed,
 		Adversary:      j.key.Adversary,
@@ -302,7 +369,7 @@ func (s Sweep) journalAttempt(j job, attempt int, outcome, errMsg string, events
 
 // cellError attributes a cell's final error with everything a post-mortem
 // needs: protocol, speed, both axis labels, seed, and the attempt count.
-func (s Sweep) cellError(j job, err error, attempts int) error {
+func cellError(j job, err error, attempts int) error {
 	base := fmt.Errorf("%s speed=%g adversary=%q countermeasure=%q seed=%d: %w",
 		j.key.Protocol, j.key.Speed, j.key.Adversary, j.key.Countermeasure, j.cfg.Seed, err)
 	if attempts > 1 {
@@ -314,47 +381,63 @@ func (s Sweep) cellError(j job, err error, attempts int) error {
 // attempt executes one try of a cell with panic isolation: a panic
 // anywhere in the simulator unwinds to here and becomes a *PanicError
 // instead of killing the worker (and with it the whole sweep).
-func (s Sweep) attempt(ctx *scenario.Context, cfg scenario.Config) (m *metrics.RunMetrics, err error) {
+func (e Executor) attempt(ctx *scenario.Context, cfg scenario.Config) (m *metrics.RunMetrics, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	run := s.Runner
+	run := e.Runner
 	if run == nil {
 		run = DefaultRunner
 	}
-	return run(ctx, cfg, s.Watchdog)
+	return run(ctx, cfg, e.Watchdog)
 }
 
-// runCell drives one cell through the retry policy. The context pointer
+// attemptEvents reports how many simulated events a failed attempt
+// executed before dying: watchdog kills carry the count in their
+// *scenario.AbortError, so livelock post-mortems in the journal see how
+// far the run got instead of a flat zero.
+func attemptEvents(err error) uint64 {
+	var ae *scenario.AbortError
+	if errors.As(err, &ae) {
+		return ae.Events
+	}
+	return 0
+}
+
+// RunCell drives one cell through the retry policy. The context pointer
 // is replaced with a fresh one after a panic — a panic unwound the
 // simulator mid-run, so the reusable scaffolding is in an unknown state
 // and must not serve another run. Retries use the identical
 // configuration and seed: determinism makes retry ≡ fresh run.
-func (s Sweep) runCell(ctxp **scenario.Context, j job) (*metrics.RunMetrics, []Attempt, error) {
-	max := s.Retry.attempts()
+func (e Executor) RunCell(ctxp **scenario.Context, key CellKey, cfg scenario.Config) (*metrics.RunMetrics, []Attempt, error) {
+	return e.runCell(ctxp, job{key: key, cfg: cfg})
+}
+
+func (e Executor) runCell(ctxp **scenario.Context, j job) (*metrics.RunMetrics, []Attempt, error) {
+	max := e.Retry.attempts()
 	var attempts []Attempt
 	var lastErr error
 	for a := 1; a <= max; a++ {
 		start := time.Now()
-		m, err := s.attempt(*ctxp, j.cfg)
+		m, err := e.attempt(*ctxp, j.cfg)
 		if err == nil {
-			s.journalAttempt(j, a, "ok", "", m.EventsRun, time.Since(start))
+			e.journalAttempt(j, a, "ok", "", m.EventsRun, time.Since(start))
 			return m, attempts, nil
 		}
 		kind := errKind(err)
-		s.journalAttempt(j, a, kind, err.Error(), 0, time.Since(start))
+		e.journalAttempt(j, a, kind, err.Error(), attemptEvents(err), time.Since(start))
 		lastErr = err
 		attempts = append(attempts, Attempt{Attempt: a, Kind: kind, Err: err.Error()})
 		if kind == KindPanic {
 			*ctxp = scenario.NewContext()
 		}
 		if a < max {
-			s.Retry.sleep(a)
+			e.Retry.sleep(a)
 		}
 	}
-	return nil, attempts, s.cellError(j, lastErr, len(attempts))
+	return nil, attempts, cellError(j, lastErr, len(attempts))
 }
 
 // Run executes the sweep. Repetition r uses seed SeedBase+r for every
@@ -374,8 +457,7 @@ func (s Sweep) runCell(ctxp **scenario.Context, j job) (*metrics.RunMetrics, []A
 // (with its attempt history) in Result.Failed while the rest of the
 // grid completes.
 func (s Sweep) Run() (*Result, error) {
-	specs, labels := s.advAxis()
-	cmSpecs, cmLabels := s.cmAxis()
+	exec := s.executor()
 	figs := allFigures()
 	res := &Result{
 		Sweep:  s,
@@ -403,35 +485,21 @@ func (s Sweep) Run() (*Result, error) {
 	// Enumerate the grid, serving cache hits inline and collecting the
 	// cells that actually need simulating.
 	var jobs []job
-	for _, p := range s.Protocols {
-		for _, v := range s.Speeds {
-			for a := range specs {
-				for c := range cmSpecs {
-					for r := 0; r < s.Reps; r++ {
-						cfg := s.Base
-						cfg.Protocol = p
-						cfg.MaxSpeed = v
-						cfg.Adversary = specs[a]
-						cfg.Countermeasure = cmSpecs[c]
-						cfg.Seed = s.SeedBase + int64(r)
-						key := CellKey{Protocol: p, Speed: v, Adversary: labels[a], Countermeasure: cmLabels[c]}
-						if s.Cache != nil {
-							if m, ok := s.Cache.Get(cfg); ok {
-								res.CacheHits++
-								record(key, m)
-								s.journalAttempt(job{key: key, cfg: cfg}, 0, "cache-hit", "", m.EventsRun, 0)
-								if s.OnRun != nil {
-									s.OnRun(m)
-								}
-								continue
-							}
-							res.CacheMisses++
-						}
-						jobs = append(jobs, job{key: key, cfg: cfg})
-					}
+	for _, cj := range s.Jobs() {
+		key, cfg := cj.Key, cj.Config
+		if s.Cache != nil {
+			if m, ok := s.Cache.Get(cfg); ok {
+				res.CacheHits++
+				record(key, m)
+				exec.journalAttempt(job{key: key, cfg: cfg}, 0, "cache-hit", "", m.EventsRun, 0)
+				if s.OnRun != nil {
+					s.OnRun(m)
 				}
+				continue
 			}
+			res.CacheMisses++
 		}
+		jobs = append(jobs, job{key: key, cfg: cfg})
 	}
 
 	workers := s.Parallelism
@@ -466,7 +534,7 @@ func (s Sweep) Run() (*Result, error) {
 					continue // sweep aborted: drain without simulating
 				default:
 				}
-				m, attempts, err := s.runCell(&ctx, j)
+				m, attempts, err := exec.runCell(&ctx, j)
 				if err != nil {
 					if s.KeepGoing {
 						mu.Lock()

@@ -1,0 +1,167 @@
+package faultinject
+
+// HTTP chaos: the sweep fabric's lease/complete/fail legs run under a
+// flaky transport, and the final aggregates must still be byte-identical
+// to a fault-free single-process sweep. Three mechanisms carry the
+// recovery — client-side retries absorb most drops, lease expiry
+// reclaims cells whose completion report died outright, and
+// content-addressed idempotent completion makes the resulting duplicate
+// computations harmless.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/runcache"
+	"mtsim/internal/sweepfabric"
+)
+
+// renderFigures is the byte-equality oracle shared with the sweepfabric
+// suite: every paper figure as table + CSV.
+func renderFigures(res *experiment.Result) string {
+	var out string
+	for _, fig := range experiment.PaperFigures() {
+		out += res.Table(fig) + "\n" + res.CSV(fig) + "\n"
+	}
+	return out
+}
+
+// TestFabricSweepUnderFlakyTransportBitIdentical shards a sweep across
+// two workers whose every HTTP request may be dropped, and asserts the
+// fabric converges to the fault-free single-process bytes.
+func TestFabricSweepUnderFlakyTransportBitIdentical(t *testing.T) {
+	s := chaosSweep()
+
+	// Fault-free reference.
+	refStore, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := s
+	ref.Cache = refStore
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderFigures(refRes)
+
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := sweepfabric.NewBoard(store)
+	// A short TTL so cells whose completion report was eaten by the
+	// transport are re-leased within the test's patience.
+	board.TTL = 500 * time.Millisecond
+	srv := httptest.NewServer(sweepfabric.NewServer(board))
+	defer srv.Close()
+
+	jobs := s.Jobs()
+	sum, err := board.Enqueue(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two workers, each behind its own flaky transport. Aggressive
+	// client retries stay OFF the fast path here on purpose: one retry
+	// round at minimal backoff pushes recovery onto the lease-expiry
+	// path more often.
+	flaky := make([]*FlakyTransport, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range flaky {
+		flaky[i] = &FlakyTransport{Seed: int64(40 + i), Rate: 0.25}
+		client := sweepfabric.NewClient(srv.URL)
+		client.HTTP = &http.Client{Transport: flaky[i]}
+		client.Retries = 1
+		client.Backoff = time.Millisecond
+		w := &sweepfabric.Worker{
+			Coordinator: client,
+			Name:        fmt.Sprintf("flaky%d", i),
+			Batch:       2,
+			Poll:        10 * time.Millisecond,
+			IdleExit:    2 * time.Second,
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }() //nolint:errcheck
+	}
+
+	st, err := board.WaitFor(nil, sum.Keys, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Remaining != 0 || len(st.Failed) != 0 {
+		t.Fatalf("fabric did not converge under transport chaos: %d remaining, %d failed (stats %+v)",
+			st.Remaining, len(st.Failed), board.Stats())
+	}
+	cancel()
+	wg.Wait()
+
+	var dropped int64
+	for _, ft := range flaky {
+		dropped += ft.Dropped()
+	}
+	if dropped == 0 {
+		t.Fatal("the flaky transports dropped nothing — the chaos was a no-op")
+	}
+	t.Logf("transport chaos: %d requests dropped, board stats %+v", dropped, board.Stats())
+
+	s.Cache = store
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 0 {
+		t.Fatalf("store missing %d cells after convergence", res.CacheMisses)
+	}
+	if got := renderFigures(res); got != want {
+		t.Fatalf("transport chaos changed the bytes:\n--- chaos ---\n%s\n--- clean ---\n%s", got, want)
+	}
+}
+
+// TestFlakyTransportDeterministicDrops pins the injector's contract:
+// the set of dropped sequence numbers is a pure function of the seed.
+func TestFlakyTransportDeterministicDrops(t *testing.T) {
+	drops := func(seed int64) []uint64 {
+		var out []uint64
+		for n := uint64(1); n <= 1000; n++ {
+			if splitmixDraw(uint64(seed), n) < 0.25 {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	a, b := drops(7), drops(7)
+	if len(a) == 0 {
+		t.Fatal("seed 7 at rate 0.25 drops nothing in 1000 draws — the draw is broken")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("drop set not reproducible across calls")
+		}
+	}
+	if c := drops(8); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical drop sets")
+		}
+	}
+	// And the sequence counter feeds the draw: rate ~0.25 should land
+	// in a loose band, not at the extremes.
+	if n := len(a); n < 150 || n > 350 {
+		t.Fatalf("drop rate off the rails: %d/1000 at rate 0.25", n)
+	}
+}

@@ -1,0 +1,198 @@
+package runcache
+
+// Tests for the entry-exchange surface behind the distributed sweep
+// fabric: key enumeration, raw entry read/write with validation, and the
+// pull-based merge helper. The invariant under test everywhere: a store
+// can only ever import entries it would itself have produced — same key,
+// same schema version, same architecture — so merged results are exactly
+// as trustworthy as locally computed ones.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"mtsim/internal/scenario"
+)
+
+// fillStore simulates n cheap cells into a fresh store and returns their
+// keys (sorted) alongside the store.
+func fillStore(t *testing.T, dir string, seeds ...int64) (*Store, []string) {
+	t.Helper()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, seed := range seeds {
+		cfg := quickConfig()
+		cfg.Seed = seed
+		m, err := scenario.RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(cfg, m); err != nil {
+			t.Fatal(err)
+		}
+		k, err := Key(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return store, keys
+}
+
+func TestKeysEnumeratesLiveEntries(t *testing.T) {
+	store, want := fillStore(t, t.TempDir(), 1, 2, 3)
+	got := store.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys()[%d] = %s, want %s (sorted order)", i, got[i], want[i])
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("Keys() not sorted")
+	}
+	// Quarantined corpses and temp litter are not entries.
+	if err := os.MkdirAll(store.Dir()+"/quarantine", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Dir()+"/quarantine/deadbeef.json", []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(store.Keys()); n != len(want) {
+		t.Fatalf("quarantine leaked into Keys(): %d entries", n)
+	}
+}
+
+func TestGetRawRoundTripsThroughPutRaw(t *testing.T) {
+	src, keys := fillStore(t, t.TempDir(), 7)
+	key := keys[0]
+	raw, ok := src.GetRaw(key)
+	if !ok {
+		t.Fatal("GetRaw missed a live entry")
+	}
+	// DecodeEntry validates the document client-side.
+	m, err := DecodeEntry(raw, key)
+	if err != nil {
+		t.Fatalf("DecodeEntry rejected a live entry: %v", err)
+	}
+	cfg := quickConfig()
+	cfg.Seed = 7
+	direct, _ := src.Get(cfg)
+	w, _ := json.Marshal(direct)
+	g, _ := json.Marshal(m)
+	if string(w) != string(g) {
+		t.Fatal("DecodeEntry metrics differ from Get metrics")
+	}
+	// And a second store imports it byte-identically.
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.PutRaw(key, raw); err != nil {
+		t.Fatalf("PutRaw rejected a valid entry: %v", err)
+	}
+	got, ok := dst.Get(cfg)
+	if !ok {
+		t.Fatal("imported entry misses")
+	}
+	g2, _ := json.Marshal(got)
+	if string(w) != string(g2) {
+		t.Fatal("imported metrics not byte-identical")
+	}
+}
+
+func TestPutRawRejectsForeignEntries(t *testing.T) {
+	src, keys := fillStore(t, t.TempDir(), 9)
+	key := keys[0]
+	raw, _ := src.GetRaw(key)
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"corrupt":   raw[:len(raw)/2],
+		"wrong key": raw, // imported under a different key below
+	}
+	if err := dst.PutRaw(key, cases["corrupt"]); err == nil {
+		t.Fatal("PutRaw accepted a torn document")
+	}
+	other := strings.Repeat("ab", 32)
+	if err := dst.PutRaw(other, cases["wrong key"]); err == nil {
+		t.Fatal("PutRaw accepted an entry under a mismatched key")
+	}
+	// Stale schema: rewrite the document under another version.
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Schema = "mtsim-run/v999"
+	stale, _ := json.Marshal(e)
+	if err := dst.PutRaw(key, stale); err == nil {
+		t.Fatal("PutRaw accepted a stale-schema entry")
+	}
+	e.Schema = SchemaVersion
+	e.GOARCH = "not-" + runtime.GOARCH
+	foreign, _ := json.Marshal(e)
+	if err := dst.PutRaw(key, foreign); err == nil {
+		t.Fatal("PutRaw accepted a foreign-architecture entry")
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("rejected imports still left %d entries on disk", dst.Len())
+	}
+}
+
+func TestMergeFromUnionsStores(t *testing.T) {
+	a, _ := fillStore(t, t.TempDir(), 1, 2)
+	b, _ := fillStore(t, t.TempDir(), 2, 3)
+	added, skipped, err := a.MergeFrom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || skipped != 0 {
+		t.Fatalf("merge added %d skipped %d, want 1/0 (only seed 3 was new)", added, skipped)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("merged store has %d entries, want 3", a.Len())
+	}
+	// Every merged cell now hits in a.
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := quickConfig()
+		cfg.Seed = seed
+		if _, ok := a.Get(cfg); !ok {
+			t.Fatalf("seed %d misses after merge", seed)
+		}
+	}
+	// Merging again is a no-op: content addressing makes sync idempotent.
+	added, skipped, err = a.MergeFrom(b)
+	if err != nil || added != 0 || skipped != 0 {
+		t.Fatalf("re-merge not a no-op: added=%d skipped=%d err=%v", added, skipped, err)
+	}
+	// A torn entry in the source is skipped and counted, never imported.
+	keysB := b.Keys()
+	tornKey := keysB[0]
+	raw, _ := b.GetRaw(tornKey)
+	if err := os.WriteFile(b.path(tornKey), raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, skipped, err = c.MergeFrom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || added != len(keysB)-1 {
+		t.Fatalf("torn source entry: added=%d skipped=%d, want %d/1", added, skipped, len(keysB)-1)
+	}
+}

@@ -1,0 +1,399 @@
+package sweepfabric
+
+// The Board is the coordinator's core: an in-memory lease ledger over a
+// content-addressed result store. Cells are keyed by their runcache
+// address, so the board dedupes work across enqueues, recognises
+// already-computed cells instantly, and treats duplicate completions as
+// the no-ops determinism makes them.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/metrics"
+	"mtsim/internal/runcache"
+)
+
+// Cell lifecycle states inside the board.
+const (
+	statePending = iota // queued, waiting for a lease
+	stateLeased         // granted to a worker, TTL running
+	stateDone           // result in the store
+	stateFailed         // board-level attempt budget exhausted
+)
+
+type cell struct {
+	job      experiment.CellJob
+	state    int
+	leaseID  int64  // valid while stateLeased
+	attempts int    // lease grants consumed (board-level, on top of engine retries)
+	errMsg   string // last failure report
+}
+
+type lease struct {
+	id       int64
+	worker   string
+	deadline time.Time
+	keys     []string // cells granted under this lease
+}
+
+// Board coordinates one shared result store's sweep work. Any number of
+// sweeps can enqueue into the same board; cells are deduplicated by
+// content address. The zero Board is not usable — construct with
+// NewBoard.
+type Board struct {
+	store *runcache.Store
+
+	// Now is the board's clock, injectable so tests drive lease expiry
+	// deterministically. Nil means time.Now.
+	Now func() time.Time
+
+	// TTL is how long a lease lives before its cells are reclaimable.
+	// Zero means DefaultTTL.
+	TTL time.Duration
+
+	// MaxAttempts is how many lease grants a cell may consume before
+	// the board marks it permanently failed. Each grant already carries
+	// the engine's own retry budget, so this bounds worker-level loss
+	// (crashes, lease expiry), not simulation flakiness. Zero means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+
+	// PollHint is the RetryAfter returned with StatusWait grants.
+	// Zero means DefaultPollHint.
+	PollHint time.Duration
+
+	mu        sync.Mutex
+	cells     map[string]*cell // by content address
+	queue     []string         // pending cell keys, FIFO
+	leases    map[int64]*lease
+	nextLease int64
+	stats     BoardStats
+	changed   chan struct{} // closed+replaced on every completion/failure
+}
+
+// Board tuning defaults.
+const (
+	DefaultTTL         = 2 * time.Minute
+	DefaultMaxAttempts = 3
+	DefaultPollHint    = 200 * time.Millisecond
+)
+
+// NewBoard builds a coordinator over the given result store.
+func NewBoard(store *runcache.Store) *Board {
+	return &Board{
+		store:   store,
+		cells:   make(map[string]*cell),
+		leases:  make(map[int64]*lease),
+		changed: make(chan struct{}),
+	}
+}
+
+// Store exposes the board's result store (the query path aggregates
+// straight from it).
+func (b *Board) Store() *runcache.Store { return b.store }
+
+func (b *Board) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Board) ttl() time.Duration {
+	if b.TTL > 0 {
+		return b.TTL
+	}
+	return DefaultTTL
+}
+
+func (b *Board) maxAttempts() int {
+	if b.MaxAttempts > 0 {
+		return b.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (b *Board) pollHint() time.Duration {
+	if b.PollHint > 0 {
+		return b.PollHint
+	}
+	return DefaultPollHint
+}
+
+// broadcastLocked wakes every WaitFor poller. Callers hold b.mu.
+func (b *Board) broadcastLocked() {
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// workerLocked returns the stats row for a worker, creating it on first
+// contact. Callers hold b.mu.
+func (b *Board) workerLocked(name string) *WorkerStats {
+	if b.stats.Workers == nil {
+		b.stats.Workers = make(map[string]*WorkerStats)
+	}
+	ws := b.stats.Workers[name]
+	if ws == nil {
+		ws = &WorkerStats{}
+		b.stats.Workers[name] = ws
+	}
+	return ws
+}
+
+// expireLocked reclaims cells from every lease whose deadline has
+// passed. Lazy expiry on the lease/stats paths is enough: expiry only
+// matters when someone wants work or numbers. Callers hold b.mu.
+func (b *Board) expireLocked(now time.Time) {
+	for id, l := range b.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(b.leases, id)
+		b.stats.LeasesExpired++
+		for _, key := range l.keys {
+			c := b.cells[key]
+			if c == nil || c.state != stateLeased || c.leaseID != id {
+				continue // completed, failed, or re-leased meanwhile
+			}
+			c.state = statePending
+			b.queue = append(b.queue, key)
+		}
+	}
+}
+
+// Enqueue registers a job list. Cells already in the result store are
+// counted done without queueing; cells the board already tracks are not
+// duplicated. The summary's Keys slice is parallel to jobs, so callers
+// wait on exactly what they submitted.
+func (b *Board) Enqueue(jobs []experiment.CellJob) (EnqueueSummary, error) {
+	var sum EnqueueSummary
+	sum.Keys = make([]string, 0, len(jobs))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, j := range jobs {
+		key, err := runcache.Key(j.Config)
+		if err != nil {
+			return sum, fmt.Errorf("sweepfabric: enqueue %s speed=%g seed=%d: %w",
+				j.Key.Protocol, j.Key.Speed, j.Config.Seed, err)
+		}
+		sum.Keys = append(sum.Keys, key)
+		if c, ok := b.cells[key]; ok {
+			switch c.state {
+			case stateDone:
+				sum.AlreadyDone++
+			case stateFailed:
+				sum.Failed++
+			default:
+				sum.AlreadyPending++
+			}
+			continue
+		}
+		c := &cell{job: j}
+		b.cells[key] = c
+		b.stats.CellsEnqueued++
+		// A validated store hit means the cell is already computed —
+		// by a previous sweep, another board, or a merged cache dir.
+		if _, ok := b.store.Get(j.Config); ok {
+			c.state = stateDone
+			b.stats.CellsDone++
+			sum.AlreadyDone++
+			continue
+		}
+		c.state = statePending
+		b.queue = append(b.queue, key)
+		sum.Queued++
+	}
+	if sum.Queued == 0 && sum.AlreadyDone > 0 {
+		// Waiters may already be satisfiable.
+		b.broadcastLocked()
+	}
+	return sum, nil
+}
+
+// Lease grants up to max pending cells to the named worker.
+func (b *Board) Lease(worker string, max int) (LeaseGrant, error) {
+	if max < 1 {
+		max = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.expireLocked(now)
+	l := &lease{id: b.nextLease + 1, worker: worker, deadline: now.Add(b.ttl())}
+	grant := LeaseGrant{Status: StatusLease, LeaseID: l.id}
+	for len(b.queue) > 0 && len(grant.Cells) < max {
+		key := b.queue[0]
+		b.queue = b.queue[1:]
+		c := b.cells[key]
+		if c == nil || c.state != statePending {
+			continue // completed (late publish) or re-leased while queued
+		}
+		c.state = stateLeased
+		c.leaseID = l.id
+		c.attempts++
+		l.keys = append(l.keys, key)
+		grant.Cells = append(grant.Cells, c.job)
+		grant.Keys = append(grant.Keys, key)
+	}
+	if len(grant.Cells) == 0 {
+		status := StatusWait
+		if b.idleLocked() {
+			status = StatusDone
+		}
+		return LeaseGrant{Status: status, RetryAfterMS: b.pollHint().Milliseconds()}, nil
+	}
+	b.nextLease = l.id
+	b.leases[l.id] = l
+	b.stats.LeasesIssued++
+	b.workerLocked(worker).Leases++
+	return grant, nil
+}
+
+// idleLocked reports whether no cell is pending or in flight.
+func (b *Board) idleLocked() bool {
+	return len(b.queue) == 0 && b.stats.CellsEnqueued == b.stats.CellsDone+b.stats.CellsFailed
+}
+
+// Complete publishes a finished cell. The lease may be expired, foreign,
+// or absent (leaseID 0 is how cmd/experiments pushes locally computed
+// results) — a deterministic result is correct regardless of who
+// computed it under which lease, so the only rejection is a store write
+// failure, which leaves the cell leased for TTL-driven retry.
+func (b *Board) Complete(worker string, leaseID int64, cj experiment.CellJob, m *metrics.RunMetrics, cached bool) error {
+	key, err := runcache.Key(cj.Config)
+	if err != nil {
+		return fmt.Errorf("sweepfabric: complete: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cells[key]
+	if c == nil {
+		// Unsolicited result (e.g. a client warming the store). Track it
+		// as a done cell so stats and waiters see it.
+		c = &cell{job: cj}
+		b.cells[key] = c
+		b.stats.CellsEnqueued++
+	}
+	if c.state == stateDone {
+		return nil // duplicate publish: same bytes, nothing to do
+	}
+	if !b.store.Has(key) {
+		if err := b.store.Put(cj.Config, m); err != nil {
+			b.stats.PutErrors++
+			return fmt.Errorf("sweepfabric: store result %s: %w", key[:12], err)
+		}
+	}
+	c.state = stateDone
+	b.stats.CellsDone++
+	ws := b.workerLocked(worker)
+	ws.Completed++
+	if cached {
+		ws.Cached++
+	}
+	b.broadcastLocked()
+	return nil
+}
+
+// Fail reports a cell whose lease-holder exhausted the engine's retry
+// budget. The cell is requeued until its board-level attempt budget is
+// spent, then marked permanently failed.
+func (b *Board) Fail(worker string, leaseID int64, cj experiment.CellJob, errMsg string) error {
+	key, err := runcache.Key(cj.Config)
+	if err != nil {
+		return fmt.Errorf("sweepfabric: fail: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cells[key]
+	if c == nil || c.state == stateDone || c.state == stateFailed {
+		return nil // stale report
+	}
+	b.workerLocked(worker).Failed++
+	c.errMsg = errMsg
+	if c.attempts >= b.maxAttempts() {
+		c.state = stateFailed
+		b.stats.CellsFailed++
+		b.broadcastLocked()
+		return nil
+	}
+	c.state = statePending
+	b.queue = append(b.queue, key)
+	b.stats.Requeues++
+	return nil
+}
+
+// WaitFor blocks until every key is done (or permanently failed), the
+// timeout passes, or stop is closed. Keys the board has never seen
+// count as done if the result store holds them — a restarted board
+// serves previously computed sweeps without re-enqueueing.
+func (b *Board) WaitFor(stop <-chan struct{}, keys []string, timeout time.Duration) (WaitStatus, error) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		b.mu.Lock()
+		b.expireLocked(b.now())
+		st := b.statusLocked(keys)
+		ch := b.changed
+		b.mu.Unlock()
+		if st.Remaining == 0 || len(st.Failed) > 0 {
+			return st, nil
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return st, nil
+		case <-stop:
+			return st, fmt.Errorf("sweepfabric: wait cancelled with %d cells outstanding", st.Remaining)
+		}
+	}
+}
+
+// statusLocked classifies keys into done / failed / remaining. Callers
+// hold b.mu.
+func (b *Board) statusLocked(keys []string) WaitStatus {
+	var st WaitStatus
+	for _, key := range keys {
+		c := b.cells[key]
+		switch {
+		case c == nil:
+			if b.store.Has(key) {
+				st.Done++
+			} else {
+				st.Remaining++
+			}
+		case c.state == stateDone:
+			st.Done++
+		case c.state == stateFailed:
+			st.Failed = append(st.Failed, CellFailure{Key: key, Err: c.errMsg, Attempts: c.attempts})
+		default:
+			st.Remaining++
+		}
+	}
+	return st
+}
+
+// Stats snapshots the board's counters (expiring stale leases first so
+// the numbers are current).
+func (b *Board) Stats() BoardStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.now())
+	st := b.stats
+	st.CellsPending = len(b.queue)
+	leased := 0
+	for _, c := range b.cells {
+		if c.state == stateLeased {
+			leased++
+		}
+	}
+	st.CellsLeased = leased
+	st.Workers = make(map[string]*WorkerStats, len(b.stats.Workers))
+	for name, ws := range b.stats.Workers {
+		cp := *ws
+		st.Workers[name] = &cp
+	}
+	return st
+}

@@ -1,0 +1,308 @@
+package sweepfabric
+
+// HTTP client side of the fabric: Client implements Coordinator for
+// out-of-process workers and the enqueue/wait/fetch surface for sweep
+// clients, with deterministic-friendly retrying (requests are rebuilt
+// from bytes each attempt, so a flaky transport costs latency, never
+// correctness). RemoteCache and TieredCache adapt the fabric to the
+// engine's Cache seam.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/metrics"
+	"mtsim/internal/runcache"
+	"mtsim/internal/scenario"
+)
+
+// Client talks to a sweepd coordinator. The zero value is not usable —
+// construct with NewClient.
+type Client struct {
+	// Base is the coordinator's URL, e.g. "http://127.0.0.1:7077".
+	Base string
+	// HTTP is the transport, injectable so the chaos suite can make it
+	// flaky. Nil means a fresh http.Client without a global timeout
+	// (long-poll waits outlive any sane fixed timeout).
+	HTTP *http.Client
+	// Retries is how many times a request is retried after a transport
+	// error or 5xx. Zero means DefaultClientRetries; negative disables.
+	Retries int
+	// Backoff is the base delay between retries, doubling per attempt.
+	// Zero means DefaultClientBackoff.
+	Backoff time.Duration
+}
+
+// Client retry defaults.
+const (
+	DefaultClientRetries = 3
+	DefaultClientBackoff = 50 * time.Millisecond
+)
+
+// NewClient builds a coordinator client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return DefaultClientRetries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return DefaultClientBackoff
+}
+
+// apiError is a non-2xx response with the server's error string.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("sweepd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// do runs one JSON request with retries. Transport errors and 5xx
+// responses are retried with doubling backoff; 4xx responses are not
+// (the request itself is wrong). in == nil sends a GET.
+func (c *Client) do(path string, in, out any) error {
+	var body []byte
+	method := http.MethodGet
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("sweepd: marshal request: %w", err)
+		}
+		method = http.MethodPost
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff() << (attempt - 1))
+		}
+		req, err := http.NewRequest(method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("sweepd: build request: %w", err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = &apiError{Status: resp.StatusCode, Msg: errString(data)}
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			return &apiError{Status: resp.StatusCode, Msg: errString(data)}
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("sweepd: decode %s response: %w", path, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("sweepd: %s %s failed after %d attempts: %w", method, path, c.retries()+1, lastErr)
+}
+
+func errString(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
+}
+
+// Lease implements Coordinator over HTTP.
+func (c *Client) Lease(worker string, max int) (LeaseGrant, error) {
+	var grant LeaseGrant
+	err := c.do("/v1/lease", leaseRequest{Worker: worker, Max: max}, &grant)
+	return grant, err
+}
+
+// Complete implements Coordinator over HTTP.
+func (c *Client) Complete(worker string, leaseID int64, cell experiment.CellJob, m *metrics.RunMetrics, cached bool) error {
+	return c.do("/v1/complete", completeRequest{
+		Worker: worker, LeaseID: leaseID, Cell: cell, Metrics: m, Cached: cached,
+	}, nil)
+}
+
+// Fail implements Coordinator over HTTP.
+func (c *Client) Fail(worker string, leaseID int64, cell experiment.CellJob, errMsg string) error {
+	return c.do("/v1/fail", failRequest{Worker: worker, LeaseID: leaseID, Cell: cell, Error: errMsg}, nil)
+}
+
+// Enqueue submits a job list to the coordinator.
+func (c *Client) Enqueue(jobs []experiment.CellJob) (EnqueueSummary, error) {
+	var sum EnqueueSummary
+	err := c.do("/v1/enqueue", enqueueRequest{Jobs: jobs}, &sum)
+	return sum, err
+}
+
+// Wait blocks until the keys resolve, some fail, or the timeout passes.
+func (c *Client) Wait(keys []string, timeout time.Duration) (WaitStatus, error) {
+	var st WaitStatus
+	err := c.do("/v1/wait", waitRequest{Keys: keys, TimeoutMS: timeout.Milliseconds()}, &st)
+	return st, err
+}
+
+// Entry fetches one raw store document by content address. The miss
+// return is (nil, false, nil): a 404 is an answer, not an error.
+func (c *Client) Entry(key string) ([]byte, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/entry?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, nil
+	case resp.StatusCode != http.StatusOK:
+		return nil, false, &apiError{Status: resp.StatusCode, Msg: errString(data)}
+	}
+	return data, true, nil
+}
+
+// Healthz probes the coordinator once.
+func (c *Client) Healthz() error {
+	return c.do("/healthz", nil, nil)
+}
+
+// WaitReady polls /healthz until the coordinator answers or the timeout
+// passes — the standard startup handshake for demo scripts and tests.
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if lastErr = c.Healthz(); lastErr == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("sweepd at %s not ready after %s: %w", c.Base, timeout, lastErr)
+}
+
+// RemoteCache adapts a coordinator to the engine's Cache seam: Get
+// fetches raw entries and validates them client-side (schema version,
+// GOARCH, content address — exactly what a local store enforces), Put
+// publishes as an unsolicited completion. A sweep pointed at a
+// RemoteCache aggregates a remote fleet's results as if they were
+// local, because byte-for-byte they are.
+type RemoteCache struct {
+	Client *Client
+}
+
+// Get implements experiment.Cache.
+func (rc *RemoteCache) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
+	key, err := runcache.Key(cfg)
+	if err != nil {
+		return nil, false
+	}
+	doc, ok, err := rc.Client.Entry(key)
+	if err != nil || !ok {
+		return nil, false
+	}
+	m, err := runcache.DecodeEntry(doc, key)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// Put implements experiment.Cache.
+func (rc *RemoteCache) Put(cfg scenario.Config, m *metrics.RunMetrics) error {
+	return rc.Client.Complete("", 0, experiment.CellJob{
+		Key:    experiment.CellKey{Protocol: cfg.Protocol, Speed: cfg.MaxSpeed},
+		Config: cfg,
+	}, m, false)
+}
+
+// TieredCache layers two Cache implementations: a fast local tier
+// (usually *runcache.Store) over a remote one (usually *RemoteCache).
+// Remote hits are backfilled into the local tier, so a client that
+// replays a fabric sweep pays each cell's network fetch once.
+type TieredCache struct {
+	Local  experiment.Cache
+	Remote experiment.Cache
+}
+
+// Get implements experiment.Cache.
+func (tc *TieredCache) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
+	if tc.Local != nil {
+		if m, ok := tc.Local.Get(cfg); ok {
+			return m, true
+		}
+	}
+	if tc.Remote == nil {
+		return nil, false
+	}
+	m, ok := tc.Remote.Get(cfg)
+	if !ok {
+		return nil, false
+	}
+	if tc.Local != nil {
+		tc.Local.Put(cfg, m) //nolint:errcheck // backfill is best-effort
+	}
+	return m, true
+}
+
+// Put implements experiment.Cache: both tiers, first error wins.
+func (tc *TieredCache) Put(cfg scenario.Config, m *metrics.RunMetrics) error {
+	var first error
+	if tc.Local != nil {
+		first = tc.Local.Put(cfg, m)
+	}
+	if tc.Remote != nil {
+		if err := tc.Remote.Put(cfg, m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,126 @@
+// Package sweepfabric distributes a parameter sweep across processes
+// and hosts: a coordinator Board partitions the sweep's cell list into
+// time-bounded leases, workers claim leases (in-process or over HTTP),
+// simulate each cell through the engine's fault-tolerant Executor, and
+// publish results into a shared content-addressed runcache.Store.
+//
+// The fabric's whole trust argument is determinism plus content
+// addressing. A cell's result is a pure function of its configuration
+// and seed, and the runcache key is a hash of exactly those inputs
+// (salted with the schema version and pinned to GOARCH), so a result
+// computed by any worker anywhere is byte-identical to one computed
+// locally — remote results need no provenance beyond passing
+// runcache validation. That is also why crash tolerance is free:
+// a dead worker's lease expires and the cell is simply re-leased;
+// if the dead worker had already published some cells, the re-lease
+// finds them in the cache and completes instantly. Duplicate
+// completions are idempotent for the same reason — both writers
+// computed the same bytes.
+//
+// A fabric sweep reproduces a single-process Sweep.Run byte-for-byte:
+// the coordinator enumerates cells with Sweep.Jobs() (the engine's
+// exact dispatch grid), workers run them through the same Executor
+// attempt path, and the final aggregation IS Sweep.Run over a cache
+// holding every cell — identical code path, zero simulation.
+package sweepfabric
+
+import (
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/metrics"
+)
+
+// Lease grant statuses (LeaseGrant.Status).
+const (
+	StatusLease = "lease" // cells granted; simulate and report
+	StatusWait  = "wait"  // nothing leasable right now; poll again
+	StatusDone  = "done"  // board has no pending or leased cells left
+)
+
+// Coordinator is the lease protocol a worker drives. The Board
+// implements it directly (in-process workers); Client implements it
+// over HTTP (out-of-process workers). All methods are safe for
+// concurrent use.
+type Coordinator interface {
+	// Lease claims up to max cells for the named worker. A StatusWait
+	// or StatusDone grant carries no cells.
+	Lease(worker string, max int) (LeaseGrant, error)
+	// Complete reports a finished cell with its metrics. Completions
+	// are accepted even when the lease has expired or belongs to
+	// someone else: determinism means any computed result is THE
+	// result, so late or duplicate publishes are harmless.
+	Complete(worker string, leaseID int64, cell experiment.CellJob, m *metrics.RunMetrics, cached bool) error
+	// Fail reports a cell whose attempts (including engine-level
+	// retries) were exhausted. The board requeues it until the cell's
+	// board-level attempt budget runs out, then marks it failed.
+	Fail(worker string, leaseID int64, cell experiment.CellJob, errMsg string) error
+}
+
+// LeaseGrant is the coordinator's answer to a lease request.
+type LeaseGrant struct {
+	Status  string               `json:"status"`
+	LeaseID int64                `json:"lease_id,omitempty"`
+	Cells   []experiment.CellJob `json:"cells,omitempty"`
+	// Keys holds each cell's content address, parallel to Cells, so
+	// workers probe their local cache tier without re-hashing.
+	Keys []string `json:"keys,omitempty"`
+	// RetryAfterMS is the board's poll hint for StatusWait grants.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// RetryAfter is the grant's poll hint as a duration.
+func (g LeaseGrant) RetryAfter() time.Duration {
+	return time.Duration(g.RetryAfterMS) * time.Millisecond
+}
+
+// EnqueueSummary reports what enqueueing a job list changed: content
+// addressing dedupes against both the board and the result store, so
+// re-enqueueing a half-finished sweep only queues the missing cells.
+type EnqueueSummary struct {
+	Keys           []string `json:"keys"`            // every job's content address, in job order
+	Queued         int      `json:"queued"`          // newly queued for simulation
+	AlreadyDone    int      `json:"already_done"`    // present in the result store
+	AlreadyPending int      `json:"already_pending"` // queued or leased by an earlier enqueue
+	Failed         int      `json:"failed"`          // permanently failed earlier; not re-queued
+}
+
+// CellFailure is a permanently failed cell in a WaitStatus.
+type CellFailure struct {
+	Key      string `json:"key"`
+	Err      string `json:"error"`
+	Attempts int    `json:"attempts"`
+}
+
+// WaitStatus reports how a WaitFor ended: every key resolved
+// (Remaining == 0, no Failed), some cells permanently failed, or the
+// wait timed out with work still outstanding.
+type WaitStatus struct {
+	Done      int           `json:"done"`
+	Remaining int           `json:"remaining"`
+	Failed    []CellFailure `json:"failed,omitempty"`
+}
+
+// WorkerStats counts one worker's activity as the board saw it.
+type WorkerStats struct {
+	Leases    int `json:"leases"`    // lease grants issued to this worker
+	Completed int `json:"completed"` // cells it completed (simulated + cached)
+	Cached    int `json:"cached"`    // completions it served from a cache tier
+	Failed    int `json:"failed"`    // cell failures it reported
+}
+
+// BoardStats is the coordinator's counter snapshot, served by
+// /v1/stats next to the store's cache health.
+type BoardStats struct {
+	CellsEnqueued int `json:"cells_enqueued"` // distinct cells ever accepted
+	CellsPending  int `json:"cells_pending"`  // queued, not leased
+	CellsLeased   int `json:"cells_leased"`   // leased, in flight
+	CellsDone     int `json:"cells_done"`
+	CellsFailed   int `json:"cells_failed"` // permanently failed
+	LeasesIssued  int `json:"leases_issued"`
+	LeasesExpired int `json:"leases_expired"` // TTL passed; cells requeued
+	Requeues      int `json:"requeues"`       // cells re-queued after a reported failure
+	PutErrors     int `json:"put_errors"`     // store writes that failed on Complete
+
+	Workers map[string]*WorkerStats `json:"workers,omitempty"`
+}

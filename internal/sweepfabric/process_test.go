@@ -1,0 +1,153 @@
+package sweepfabric
+
+// The acceptance test for the fabric's headline claim: a sweep sharded
+// across real `sweepd worker` OS processes — one of which is SIGKILLed
+// mid-lease — produces figure tables byte-identical to a single-process
+// Sweep.Run. The coordinator runs in-test so the board's counters are
+// directly assertable; the workers are the separately built binary,
+// talking real HTTP.
+
+import (
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mtsim/internal/runcache"
+)
+
+// buildSweepd compiles cmd/sweepd once per test run.
+func buildSweepd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sweepd")
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/sweepd")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sweepd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestWorkerProcessKilledMidLeaseSweepStillByteIdentical: two sweepd
+// worker processes share a grid; the first claims every cell in one
+// lease (throttled so they stay in flight), is SIGKILLed after its
+// first completion, and the second finishes the grid once the dead
+// worker's lease expires. The aggregates must match a single-process
+// run byte for byte.
+func TestWorkerProcessKilledMidLeaseSweepStillByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives OS processes")
+	}
+	s := quickSweep()
+	want := singleProcess(t, s)
+	bin := buildSweepd(t)
+
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := NewBoard(store)
+	board.TTL = 1500 * time.Millisecond
+	srv := httptest.NewServer(NewServer(board))
+	defer srv.Close()
+
+	jobs := s.Jobs()
+	sum, err := board.Enqueue(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A claims the whole grid in one lease, throttled so cells
+	// are still in flight when it dies.
+	doomed := exec.Command(bin, "worker",
+		"-coordinator", srv.URL,
+		"-name", "proc-doomed",
+		"-batch", "16",
+		"-throttle", "400ms",
+		"-poll", "20ms",
+		"-q")
+	doomed.Stderr = os.Stderr
+	if err := doomed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer doomed.Process.Kill() //nolint:errcheck
+
+	// Kill it the moment the board has seen at least one completion
+	// while cells are still leased: a genuine mid-lease crash.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := board.Stats()
+		if st.CellsDone >= 1 && st.CellsLeased >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("doomed worker never reached mid-lease state: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := doomed.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Wait() //nolint:errcheck // SIGKILL: exit status is expected noise
+	killedAt := board.Stats()
+	if killedAt.CellsLeased == 0 {
+		t.Fatal("no cells in flight at kill time — the crash exercised nothing")
+	}
+
+	// Worker B inherits the grid: the pending remainder immediately,
+	// the dead worker's cells after the lease TTL.
+	survivor := exec.Command(bin, "worker",
+		"-coordinator", srv.URL,
+		"-name", "proc-survivor",
+		"-batch", "2",
+		"-poll", "20ms",
+		"-idle-exit", "5s",
+		"-q")
+	survivor.Stderr = os.Stderr
+	if err := survivor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Process.Kill() //nolint:errcheck
+
+	st, err := board.WaitFor(nil, sum.Keys, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Remaining != 0 || len(st.Failed) != 0 {
+		t.Fatalf("grid did not recover: %d remaining, %d failed (stats %+v)",
+			st.Remaining, len(st.Failed), board.Stats())
+	}
+	if err := survivor.Wait(); err != nil {
+		t.Fatalf("survivor worker exited uncleanly: %v", err)
+	}
+
+	stats := board.Stats()
+	if stats.LeasesExpired == 0 {
+		t.Fatal("the dead worker's lease never expired — recovery path untested")
+	}
+	if stats.Workers["proc-doomed"] == nil || stats.Workers["proc-survivor"] == nil {
+		t.Fatalf("per-worker stats incomplete: %+v", stats.Workers)
+	}
+	if stats.Workers["proc-survivor"].Completed == 0 {
+		t.Fatal("survivor completed nothing — the grid was not re-leased")
+	}
+
+	// The recovered store aggregates byte-identically, zero simulation.
+	s.Cache = store
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 0 {
+		t.Fatalf("recovered store missing %d cells", res.CacheMisses)
+	}
+	if got := renderAll(res); got != want {
+		t.Fatalf("post-crash fabric sweep diverged from single-process run:\n--- fabric ---\n%s\n--- single ---\n%s", got, want)
+	}
+}

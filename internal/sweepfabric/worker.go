@@ -1,0 +1,202 @@
+package sweepfabric
+
+// Worker: the lease-claiming side of the fabric. Each of a worker's
+// Parallel loops owns one reusable scenario.Context and drives leased
+// cells through the engine's Executor — the identical attempt path
+// (panic isolation, retries, watchdog, journal) a local Sweep.Run uses,
+// so a fabric run's failure semantics match a single process's.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtsim/internal/experiment"
+	"mtsim/internal/scenario"
+)
+
+// Worker claims leases from a Coordinator and simulates them. Configure
+// the fields before Run; the zero value of every optional field is
+// usable.
+type Worker struct {
+	Coordinator Coordinator
+	// Name identifies the worker in board stats and journals.
+	Name string
+	// Parallel is how many lease loops run concurrently, each with its
+	// own scenario.Context. Zero or negative means 1.
+	Parallel int
+	// Batch is how many cells to claim per lease. Zero means 1.
+	Batch int
+	// Cache is an optional local tier probed before simulating and
+	// filled after (usually a *runcache.Store). Cache hits are reported
+	// to the coordinator as cached completions.
+	Cache experiment.Cache
+	// Exec is the engine machinery each cell runs through.
+	Exec experiment.Executor
+	// Poll bounds the idle sleep between empty lease responses; the
+	// board's RetryAfter hint is respected up to this cap. Zero means
+	// DefaultWorkerPoll.
+	Poll time.Duration
+	// IdleExit makes Run return after this long without obtaining any
+	// cell (StatusDone grants included). Zero means run until the
+	// context is cancelled — the service posture.
+	IdleExit time.Duration
+	// Throttle sleeps before each simulated (non-cached) cell. Tests
+	// and demos use it to hold cells in-flight long enough to kill a
+	// worker mid-lease; production leaves it zero.
+	Throttle time.Duration
+	// OnCell, when set, observes every finished cell.
+	OnCell func(key string, cached bool, err error)
+
+	completed atomic.Int64
+	cached    atomic.Int64
+	failed    atomic.Int64
+}
+
+// DefaultWorkerPoll caps the idle sleep between lease polls.
+const DefaultWorkerPoll = 250 * time.Millisecond
+
+// Completed reports how many cells this worker finished (simulated or
+// cached) since construction.
+func (w *Worker) Completed() int64 { return w.completed.Load() }
+
+// CachedHits reports how many finished cells came from the local tier.
+func (w *Worker) CachedHits() int64 { return w.cached.Load() }
+
+// FailedCells reports how many cells this worker reported as failed.
+func (w *Worker) FailedCells() int64 { return w.failed.Load() }
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return DefaultWorkerPoll
+}
+
+func (w *Worker) batch() int {
+	if w.Batch > 0 {
+		return w.Batch
+	}
+	return 1
+}
+
+// Run claims and simulates cells until the context is cancelled or,
+// with IdleExit set, until the coordinator has been out of work for
+// that long. Returns nil on idle exit, ctx.Err() on cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == nil {
+		return fmt.Errorf("sweepfabric: worker %q has no coordinator", w.Name)
+	}
+	n := w.Parallel
+	if n < 1 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(loop int) {
+			defer wg.Done()
+			w.loop(ctx, loop)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// sleep waits d or until the context dies.
+func sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// loop is one lease loop: claim, simulate, publish, repeat.
+func (w *Worker) loop(ctx context.Context, n int) {
+	simCtx := scenario.NewContext()
+	name := w.Name
+	if w.Parallel > 1 {
+		name = fmt.Sprintf("%s/%d", w.Name, n)
+	}
+	idleSince := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		grant, err := w.Coordinator.Lease(name, w.batch())
+		if err != nil {
+			// Transport trouble reads as idleness: with IdleExit set a
+			// worker whose coordinator died drains away instead of
+			// spinning forever.
+			if w.IdleExit > 0 && time.Since(idleSince) >= w.IdleExit {
+				return
+			}
+			sleep(ctx, w.poll())
+			continue
+		}
+		if grant.Status != StatusLease || len(grant.Cells) == 0 {
+			if w.IdleExit > 0 && time.Since(idleSince) >= w.IdleExit {
+				return
+			}
+			d := grant.RetryAfter()
+			if d <= 0 || d > w.poll() {
+				d = w.poll()
+			}
+			sleep(ctx, d)
+			continue
+		}
+		idleSince = time.Now()
+		for i, cj := range grant.Cells {
+			if ctx.Err() != nil {
+				return // unfinished cells return via lease expiry
+			}
+			w.runOne(ctx, &simCtx, name, grant.LeaseID, grant.Keys[i], cj)
+		}
+	}
+}
+
+// runOne takes one leased cell to a completion or failure report.
+func (w *Worker) runOne(ctx context.Context, simCtx **scenario.Context, name string, leaseID int64, key string, cj experiment.CellJob) {
+	if w.Cache != nil {
+		if m, ok := w.Cache.Get(cj.Config); ok {
+			w.report(name, key, true, w.Coordinator.Complete(name, leaseID, cj, m, true))
+			return
+		}
+	}
+	sleep(ctx, w.Throttle)
+	m, _, err := w.Exec.RunCell(simCtx, cj.Key, cj.Config)
+	if err != nil {
+		w.failed.Add(1)
+		ferr := w.Coordinator.Fail(name, leaseID, cj, err.Error())
+		if w.OnCell != nil {
+			w.OnCell(key, false, err)
+		}
+		_ = ferr // lease expiry recovers a lost failure report
+		return
+	}
+	if w.Cache != nil {
+		w.Cache.Put(cj.Config, m) //nolint:errcheck // local tier is best-effort
+	}
+	// A lost completion is recovered the same way a dead worker is:
+	// the lease expires, the cell is re-leased, and the re-runner (or
+	// its cache tier) republishes the identical bytes.
+	w.report(name, key, false, w.Coordinator.Complete(name, leaseID, cj, m, false))
+}
+
+// report books a completion locally and surfaces it to OnCell.
+func (w *Worker) report(name, key string, cached bool, completeErr error) {
+	w.completed.Add(1)
+	if cached {
+		w.cached.Add(1)
+	}
+	if w.OnCell != nil {
+		w.OnCell(key, cached, completeErr)
+	}
+}

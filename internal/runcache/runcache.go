@@ -236,6 +236,26 @@ func (s *Store) sweepOrphans() {
 // Dir returns the cache's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// ValidKey reports whether key is a well-formed content address: exactly
+// 64 lowercase hex digits, the shape every KeySalted output has. Every
+// externally supplied key (fabric HTTP requests, merge sources) must pass
+// this gate before it reaches the filesystem — a malformed key is never a
+// path (no traversal, no short-key slicing), it is simply not an entry.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path maps a key to its on-disk location. Callers must have validated
+// key (ValidKey) — keys minted by KeySalted always pass.
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
@@ -264,6 +284,12 @@ func (s *Store) Get(cfg scenario.Config) (*metrics.RunMetrics, bool) {
 // raw entries served to fabric peers are exactly as trustworthy as
 // locally decoded ones.
 func (s *Store) readValidated(key string) ([]byte, *entry, bool) {
+	if !ValidKey(key) {
+		// Not a content address — nothing on disk can be its entry, and
+		// it must never be turned into a path (an attacker-shaped key
+		// could otherwise traverse, or quarantine-move, arbitrary files).
+		return nil, nil, false
+	}
 	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -311,6 +337,9 @@ func (s *Store) GetRaw(key string) ([]byte, bool) {
 // rather than written: a merge or a remote publish can never smuggle a
 // stale or foreign result into a serving store.
 func (s *Store) PutRaw(key string, doc []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("runcache: %q is not a content address", key)
+	}
 	var e entry
 	if err := json.Unmarshal(doc, &e); err != nil {
 		return fmt.Errorf("runcache: invalid entry document for %s: %w", key, err)
@@ -496,9 +525,13 @@ func (s *Store) Keys() []string {
 	return keys
 }
 
-// Has reports whether a live entry file exists for key (no validation —
-// a cheap existence probe for merge planning; GetRaw validates).
+// Has reports whether a live entry file exists for key (no document
+// validation — a cheap existence probe for merge planning; GetRaw
+// validates). Malformed keys are simply absent, never paths.
 func (s *Store) Has(key string) bool {
+	if !ValidKey(key) {
+		return false
+	}
 	_, err := os.Stat(s.path(key))
 	return err == nil
 }

@@ -286,6 +286,15 @@ func (b *Board) Complete(worker string, leaseID int64, cj experiment.CellJob, m 
 			return fmt.Errorf("sweepfabric: store result %s: %w", key[:12], err)
 		}
 	}
+	if c.state == stateFailed {
+		// A late completion resurrects a permanently failed cell — the
+		// result is just as deterministic as any other. Move it from the
+		// failed column to done so the ledger stays balanced
+		// (CellsDone+CellsFailed never exceeds CellsEnqueued) and idle
+		// detection keeps working.
+		b.stats.CellsFailed--
+		c.errMsg = ""
+	}
 	c.state = stateDone
 	b.stats.CellsDone++
 	ws := b.workerLocked(worker)
@@ -299,7 +308,10 @@ func (b *Board) Complete(worker string, leaseID int64, cj experiment.CellJob, m 
 
 // Fail reports a cell whose lease-holder exhausted the engine's retry
 // budget. The cell is requeued until its board-level attempt budget is
-// spent, then marked permanently failed.
+// spent, then marked permanently failed. Unlike Complete — where any
+// result is THE result — a failure is only meaningful under the lease it
+// happened in: a report from an expired or superseded lease is stale and
+// must not burn the attempt budget of a re-run still in flight.
 func (b *Board) Fail(worker string, leaseID int64, cj experiment.CellJob, errMsg string) error {
 	key, err := runcache.Key(cj.Config)
 	if err != nil {
@@ -308,8 +320,8 @@ func (b *Board) Fail(worker string, leaseID int64, cj experiment.CellJob, errMsg
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	c := b.cells[key]
-	if c == nil || c.state == stateDone || c.state == stateFailed {
-		return nil // stale report
+	if c == nil || c.state != stateLeased || c.leaseID != leaseID {
+		return nil // stale report: done, failed, requeued, or re-leased
 	}
 	b.workerLocked(worker).Failed++
 	c.errMsg = errMsg
@@ -333,11 +345,7 @@ func (b *Board) WaitFor(stop <-chan struct{}, keys []string, timeout time.Durati
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	for {
-		b.mu.Lock()
-		b.expireLocked(b.now())
-		st := b.statusLocked(keys)
-		ch := b.changed
-		b.mu.Unlock()
+		st, ch := b.pollStatus(keys)
 		if st.Remaining == 0 || len(st.Failed) > 0 {
 			return st, nil
 		}
@@ -349,6 +357,17 @@ func (b *Board) WaitFor(stop <-chan struct{}, keys []string, timeout time.Durati
 			return st, fmt.Errorf("sweepfabric: wait cancelled with %d cells outstanding", st.Remaining)
 		}
 	}
+}
+
+// pollStatus takes one locked status snapshot plus the change channel to
+// wait on. The deferred unlock matters: keys come straight from clients,
+// and a panic anywhere under the lock (today's code validates them, but
+// defence belongs here) must not poison b.mu and deadlock the board.
+func (b *Board) pollStatus(keys []string) (WaitStatus, chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.now())
+	return b.statusLocked(keys), b.changed
 }
 
 // statusLocked classifies keys into done / failed / remaining. Callers

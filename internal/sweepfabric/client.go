@@ -89,6 +89,11 @@ func (e *apiError) Error() string {
 // responses are retried with doubling backoff; 4xx responses are not
 // (the request itself is wrong). in == nil sends a GET.
 func (c *Client) do(path string, in, out any) error {
+	return c.doRetries(path, in, out, c.retries())
+}
+
+// doRetries is do with an explicit retry budget (0 = single attempt).
+func (c *Client) doRetries(path string, in, out any, retries int) error {
 	var body []byte
 	method := http.MethodGet
 	if in != nil {
@@ -99,7 +104,7 @@ func (c *Client) do(path string, in, out any) error {
 		method = http.MethodPost
 	}
 	var lastErr error
-	for attempt := 0; attempt <= c.retries(); attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.backoff() << (attempt - 1))
 		}
@@ -135,7 +140,7 @@ func (c *Client) do(path string, in, out any) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("sweepd: %s %s failed after %d attempts: %w", method, path, c.retries()+1, lastErr)
+	return fmt.Errorf("sweepd: %s %s failed after %d attempts: %w", method, path, retries+1, lastErr)
 }
 
 func errString(data []byte) string {
@@ -152,10 +157,14 @@ func errString(data []byte) string {
 	return s
 }
 
-// Lease implements Coordinator over HTTP.
+// Lease implements Coordinator over HTTP. Leasing is deliberately NOT
+// retried at the transport layer: a grant response lost after the board
+// committed it would make the retry claim a second lease and strand the
+// first one's cells until TTL expiry. Workers already treat a lease
+// error as an idle poll, which costs one poll interval instead.
 func (c *Client) Lease(worker string, max int) (LeaseGrant, error) {
 	var grant LeaseGrant
-	err := c.do("/v1/lease", leaseRequest{Worker: worker, Max: max}, &grant)
+	err := c.doRetries("/v1/lease", leaseRequest{Worker: worker, Max: max}, &grant, 0)
 	return grant, err
 }
 

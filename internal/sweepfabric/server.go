@@ -191,6 +191,14 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	for _, key := range req.Keys {
+		if !runcache.ValidKey(key) {
+			// A malformed key can never resolve — waiting on it would
+			// block until timeout for a request that is simply wrong.
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%q is not a content address", key))
+			return
+		}
+	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = DefaultQueryTimeout
@@ -211,6 +219,10 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing key parameter"))
+		return
+	}
+	if !runcache.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("%q is not a content address", key))
 		return
 	}
 	doc, ok := s.board.Store().GetRaw(key)
@@ -257,9 +269,12 @@ func queryKey(q url.Values) string {
 		vs := append([]string(nil), q[k]...)
 		sort.Strings(vs)
 		for _, v := range vs {
-			b.WriteString(k)
+			// Escape both sides so the separators are unambiguous: a
+			// value containing '=' or '&' must not collide with a
+			// different query that spells the same bytes structurally.
+			b.WriteString(url.QueryEscape(k))
 			b.WriteByte('=')
-			b.WriteString(v)
+			b.WriteString(url.QueryEscape(v))
 			b.WriteByte('&')
 		}
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-chaos vet bench bench-smoke sweep-demo sweepd-demo clean
+.PHONY: build test test-race test-chaos vet bench bench-smoke sweep-demo sweepd-demo coevolution-demo clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,18 @@ sweep-demo:
 	  status=$$?; cat .sweep-demo-cache/stderr.log >&2; \
 	  [ $$status -eq 0 ] && grep -q '8 hits, 0 misses' .sweep-demo-cache/stderr.log
 	rm -rf .sweep-demo-cache
+
+# Attacker–defender co-evolution demo (internal/experiment): plays the
+# iterated best-response game from examples/coevolution and re-diffs the
+# payoff table and move history against the committed output — the
+# equilibrium is evidence, so it must stay reproducible byte for byte,
+# not just compile. Regenerate the committed output after an intentional
+# behaviour change with:
+#	go run ./examples/coevolution > examples/coevolution/OUTPUT.txt
+coevolution-demo:
+	$(GO) run ./examples/coevolution > .coevolution-demo.out
+	diff -u examples/coevolution/OUTPUT.txt .coevolution-demo.out
+	rm -f .coevolution-demo.out
 
 # Distributed sweep fabric demo (cmd/sweepd, internal/sweepfabric):
 # boots a coordinator, shards a mini-sweep across two separate worker

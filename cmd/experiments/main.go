@@ -102,6 +102,12 @@ func main() {
 			"comma-separated adversary models crossed against -cms for -only countermeasure")
 		cmSpeed = flag.Float64("cm-speed", 10,
 			"MAXSPEED (m/s) at which the -only countermeasure tables are rendered")
+		coevAttackers = flag.String("coev-attackers", "eavesdropper,adaptive,wormhole,rushing",
+			"comma-separated adversary models forming the attacker strategy set for -only coevolution (first entry is the opening strategy)")
+		coevDefenders = flag.String("coev-defenders", "none,shuffle,trust",
+			"comma-separated countermeasure models forming the defender strategy set for -only coevolution (first entry is the opening strategy)")
+		coevRounds = flag.Int("coev-rounds", 8,
+			"best-response round limit for -only coevolution")
 		cacheDir = flag.String("cache-dir", "",
 			"content-addressed run cache directory: sweep cells already cached are served without simulating, newly computed cells are persisted (empty = no cache)")
 		noCache = flag.Bool("no-cache", false,
@@ -214,6 +220,50 @@ func main() {
 		j, err := mtsim.OpenJournal(*journalPath)
 		fail(err)
 		sweep.Journal = j
+	}
+
+	if *only == "coevolution" {
+		// Iterated best response over the attacker × defender strategy
+		// sets at a single protocol and speed; the sweep's cache/retry/
+		// journal plumbing carries over to every evaluation sweep.
+		coev := mtsim.Coevolution{
+			Base:        base,
+			Speed:       *cmSpeed,
+			Reps:        *reps,
+			SeedBase:    *seedBase,
+			MaxRounds:   *coevRounds,
+			Parallelism: *parallel,
+			Cache:       sweep.Cache,
+			Retry:       sweep.Retry,
+			Watchdog:    sweep.Watchdog,
+			Journal:     sweep.Journal,
+		}
+		for _, model := range splitList(*coevAttackers) {
+			coev.Attackers = append(coev.Attackers, mtsim.AdversarySpec{Model: model})
+		}
+		for _, model := range splitList(*coevDefenders) {
+			coev.Defenders = append(coev.Defenders, mtsim.CountermeasureSpec{Model: model})
+		}
+		start := time.Now()
+		cres, err := coev.Run()
+		if err != nil {
+			if sweep.Journal != nil {
+				sweep.Journal.Close()
+			}
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "coevolution finished in %v\n\n",
+				time.Since(start).Round(time.Millisecond))
+		}
+		out := cres.PayoffTable() + "\n" + cres.History()
+		fmt.Print(out)
+		writeFile(*outDir, "coevolution.txt", out)
+		writeFile(*outDir, "coevolution_payoffs.csv", cres.PayoffCSV())
+		if sweep.Journal != nil {
+			sweep.Journal.Close()
+		}
+		return
 	}
 
 	if *only == "adversary" {
@@ -404,7 +454,7 @@ func main() {
 
 // validateOnly rejects unknown -only values before anything simulates.
 func validateOnly(only string) error {
-	valid := []string{"all", "table1", "timeseries", "adversary", "countermeasure"}
+	valid := []string{"all", "table1", "timeseries", "adversary", "countermeasure", "coevolution"}
 	for _, fig := range mtsim.PaperFigures() {
 		valid = append(valid, fig.ID)
 	}

@@ -46,11 +46,26 @@ const (
 	// ModelGrayhole is k compromised relays dropping forwarded data with
 	// probability DropRate.
 	ModelGrayhole = "grayhole"
+	// ModelAdaptive is one tap that re-taps every Interval toward whichever
+	// vantage point has recently overheard the most traffic, instead of
+	// touring blindly.
+	ModelAdaptive = "adaptive"
+	// ModelWormhole is a pair of colluding relays joined by an out-of-band
+	// tunnel that teleports route-discovery control traffic between them,
+	// advertising a phantom one-hop link that attracts routes (AODVSEC's
+	// wormhole attack).
+	ModelWormhole = "wormhole"
+	// ModelRushing is k compromised relays that strip the broadcast jitter
+	// from the route-request floods they forward, winning the duplicate-
+	// suppression race so discovered routes run through them (AODVSEC's
+	// rushing attack).
+	ModelRushing = "rushing"
 )
 
 // Models lists every selectable adversary model.
 func Models() []string {
-	return []string{ModelEavesdropper, ModelCoalition, ModelMobile, ModelBlackhole, ModelGrayhole}
+	return []string{ModelEavesdropper, ModelCoalition, ModelMobile, ModelBlackhole, ModelGrayhole,
+		ModelAdaptive, ModelWormhole, ModelRushing}
 }
 
 // Spec declares an adversary in a scenario configuration. The zero Spec
@@ -78,12 +93,16 @@ func (s Spec) IsZero() bool {
 		s.Interval == 0 && s.DropRate == 0
 }
 
-// EffectiveK returns the number of vantage points the spec asks for.
+// EffectiveK returns the number of vantage points the spec asks for. A
+// wormhole is always a pair of tunnel endpoints.
 func (s Spec) EffectiveK() int {
 	if len(s.Nodes) > 0 {
 		return len(s.Nodes)
 	}
 	if s.K <= 0 {
+		if s.Model == ModelWormhole {
+			return 2
+		}
 		return 1
 	}
 	return s.K
@@ -145,6 +164,12 @@ type Adversary interface {
 	// Dropped returns the data packets adversarial relays discarded
 	// (0 for purely passive models).
 	Dropped() uint64
+	// Attracted returns the data frames neighbours addressed *to* a
+	// compromised vantage point — traffic the attack pulled onto itself
+	// (route-attraction attacks: wormhole, rushing; 0 for models that do
+	// not manipulate discovery). First transmission attempts only; MAC
+	// retries are not re-counted.
+	Attracted() uint64
 	// Contiguity reports both contiguity views of the union Pe: the set
 	// view (longest reassemblable run of consecutive DataIDs and the
 	// packets inside such runs) and the stream view (how much arrived
@@ -179,8 +204,8 @@ func Build(spec Spec, hosts []*node.Node, rng *sim.RNG) (Adversary, error) {
 	if spec.DropRate != 0 && model != ModelGrayhole {
 		return nil, fmt.Errorf("adversary: DropRate applies to %q only, not %q", ModelGrayhole, model)
 	}
-	if spec.Interval != 0 && model != ModelMobile {
-		return nil, fmt.Errorf("adversary: Interval applies to %q only, not %q", ModelMobile, model)
+	if spec.Interval != 0 && model != ModelMobile && model != ModelAdaptive {
+		return nil, fmt.Errorf("adversary: Interval applies to %q or %q only, not %q", ModelMobile, ModelAdaptive, model)
 	}
 	switch model {
 	case ModelEavesdropper:
@@ -210,6 +235,23 @@ func Build(spec Spec, hosts []*node.Node, rng *sim.RNG) (Adversary, error) {
 			rate = 0.5
 		}
 		return NewDropper(model, hosts, rate, rng), nil
+	case ModelAdaptive:
+		interval := spec.Interval
+		if interval <= 0 {
+			interval = 10 * sim.Second
+		}
+		tourRNG := rng
+		if len(spec.Nodes) > 0 {
+			tourRNG = nil
+		}
+		return NewAdaptive(hosts, interval, tourRNG), nil
+	case ModelWormhole:
+		if len(hosts) != 2 {
+			return nil, fmt.Errorf("adversary: model %q wants exactly 2 endpoints, have %d", model, len(hosts))
+		}
+		return NewWormhole(hosts[0], hosts[1]), nil
+	case ModelRushing:
+		return NewRushing(hosts), nil
 	default:
 		return nil, fmt.Errorf("adversary: unknown model %q", spec.Model)
 	}

@@ -300,7 +300,7 @@ func TestSpecDefaults(t *testing.T) {
 			t.Fatalf("%+v Label = %q, want %q", c.spec, got, c.lbl)
 		}
 	}
-	if len(Models()) != 5 {
+	if len(Models()) != 8 {
 		t.Fatalf("models = %v", Models())
 	}
 }
@@ -327,7 +327,7 @@ func TestBuildValidation(t *testing.T) {
 	rng := sim.NewRNG(1)
 	for _, model := range Models() {
 		hosts := nodes[1:2]
-		if model == ModelCoalition || model == ModelMobile {
+		if model == ModelCoalition || model == ModelMobile || model == ModelWormhole {
 			hosts = nodes[1:3]
 		}
 		adv, err := Build(Spec{Model: model}, hosts, rng)

@@ -68,6 +68,9 @@ func (c *Coalition) Ratio(pr uint64) float64 { return ratio(c.Distinct(), pr) }
 // Dropped implements Adversary: coalitions are purely passive.
 func (c *Coalition) Dropped() uint64 { return 0 }
 
+// Attracted implements Adversary: passive taps do not divert routes.
+func (c *Coalition) Attracted() uint64 { return 0 }
+
 // Contiguity implements Adversary over the pooled union.
 func (c *Coalition) Contiguity() eaves.ContigStats { return eaves.Stats(c.union, &c.stream) }
 

@@ -89,6 +89,10 @@ func (d *Dropper) Ratio(pr uint64) float64 { return ratio(d.Distinct(), pr) }
 // Dropped implements Adversary.
 func (d *Dropper) Dropped() uint64 { return d.dropped }
 
+// Attracted implements Adversary: droppers accept whatever routes form
+// through them rather than manipulating discovery.
+func (d *Dropper) Attracted() uint64 { return 0 }
+
 // Contiguity implements Adversary over the insiders' pooled union.
 func (d *Dropper) Contiguity() eaves.ContigStats { return eaves.Stats(d.union, &d.stream) }
 

@@ -95,6 +95,9 @@ func (m *Mobile) Ratio(pr uint64) float64 { return ratio(m.Distinct(), pr) }
 // Dropped implements Adversary: mobile eavesdropping is passive.
 func (m *Mobile) Dropped() uint64 { return 0 }
 
+// Attracted implements Adversary: mobile eavesdropping is passive.
+func (m *Mobile) Attracted() uint64 { return 0 }
+
 // Contiguity implements Adversary over the whole-tour union.
 func (m *Mobile) Contiguity() eaves.ContigStats { return eaves.Stats(m.union, &m.stream) }
 

@@ -235,9 +235,10 @@ type Stats struct {
 
 // Router is one node's MTS instance.
 type Router struct {
-	env routing.Env
-	cfg Config
-	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
+	env   routing.Env
+	cfg   Config
+	ar    *packet.Arena       // the env's packet arena (nil: plain allocation)
+	trust routing.TrustOracle // nil: legacy selection, bit-for-bit
 
 	bid     uint32
 	seen    map[seenKey]bool
@@ -325,7 +326,7 @@ func (r *Router) usablePathIDs(ss *srcState) []int {
 // briefly alone stops hogging the flow the moment alternatives return).
 func (r *Router) pickDataPath(ss *srcState) (int, *srcPath, bool) {
 	if r.cfg.Disperse {
-		if ids := r.usablePathIDs(ss); len(ids) > 0 {
+		if ids := r.dropDistrusted(ss, r.usablePathIDs(ss)); len(ids) > 0 {
 			id := ids[ss.rotate%len(ids)]
 			if r.cfg.AwarePenalty > 0 {
 				id = ids[0]
@@ -343,7 +344,58 @@ func (r *Router) pickDataPath(ss *srcState) (int, *srcPath, bool) {
 	if !r.usable(sp) {
 		return 0, nil, false
 	}
+	// Under the trust defence a current path whose first hop has fallen
+	// below the distrust threshold is sidestepped packet-by-packet: the
+	// usable alternative with the lowest trust penalty carries the data
+	// until the next checking round formally re-elects a path.
+	if r.trust != nil && r.trust.Distrusted(sp.next) {
+		if alt := r.trustedTarget(ss, ss.current); alt != ss.current {
+			return alt, ss.paths[alt], true
+		}
+	}
 	return ss.current, sp, true
+}
+
+// dropDistrusted filters a usable-ID set (ascending, scratch-backed) down
+// to the paths whose first hop the trust oracle still accepts. When every
+// usable path is distrusted the set is returned as filtered anyway only if
+// non-empty; an all-distrusted set comes back unchanged — a suspect path
+// still beats no path. Compaction is in place, preserving order.
+func (r *Router) dropDistrusted(ss *srcState, ids []int) []int {
+	if r.trust == nil || len(ids) == 0 {
+		return ids
+	}
+	kept := ids[:0]
+	for _, id := range ids {
+		if !r.trust.Distrusted(ss.paths[id].next) {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) == 0 {
+		return ids
+	}
+	return kept
+}
+
+// trustedTarget returns the usable path with the strictly lowest trust
+// penalty when the given path's first hop is distrusted (ascending-ID scan,
+// so ties keep the incumbent, then the lowest alternative ID). With a
+// trusted first hop — or no better alternative — the incumbent stands.
+func (r *Router) trustedTarget(ss *srcState, incumbent int) int {
+	inc := ss.paths[incumbent]
+	if inc == nil || !r.trust.Distrusted(inc.next) {
+		return incumbent
+	}
+	best, bestCost := incumbent, r.trust.Cost(inc.next)
+	for _, id := range r.usablePathIDs(ss) {
+		if id == incumbent {
+			continue
+		}
+		if c := r.trust.Cost(ss.paths[id].next); c < bestCost {
+			best, bestCost = id, c
+		}
+	}
+	return best
 }
 
 // noteDataSend records which first hop carried one of our data packets —
@@ -369,6 +421,17 @@ func (r *Router) noteDataSend(ss *srcState, next packet.NodeID) {
 // With the policy off — or before any data has been sent — the nominee
 // wins unconditionally, which is the paper's §III-E rule.
 func (r *Router) switchTarget(ss *srcState, nominated int) int {
+	// The trust defence vetoes a distrusted nominee outright: being the
+	// checking round's first arrival is no credential when the first hop
+	// has been caught dropping data. Counted as an aware override — it is
+	// the same knob (adversary evidence beats latency) fed by different
+	// evidence.
+	if r.trust != nil {
+		if alt := r.trustedTarget(ss, nominated); alt != nominated {
+			r.Stats.AwareOverrides++
+			nominated = alt
+		}
+	}
 	if r.cfg.AwarePenalty <= 0 || ss.sentTotal == 0 {
 		return nominated
 	}
@@ -415,6 +478,7 @@ func New(env routing.Env, cfg Config) *Router {
 		env:     env,
 		cfg:     cfg,
 		ar:      ar,
+		trust:   routing.TrustOf(env),
 		seen:    make(map[seenKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
 		src:     make(map[packet.NodeID]*srcState),
@@ -431,6 +495,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.trust = routing.TrustOf(env)
 	r.mp.Rebind(env.ID())
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
@@ -477,6 +542,7 @@ func (r *Router) RecycleInto(rec *routing.Recycler) {
 	r.bid, r.checkID, r.nextPathID = 0, 0, 0
 	r.Stats = Stats{}
 	r.env = nil
+	r.trust = nil
 	rec.Put(recycleKey, r)
 }
 

@@ -50,11 +50,19 @@ const (
 	ModelAware = "aware"
 	// ModelShuffleAware combines both defences.
 	ModelShuffleAware = "shuffle+aware"
+	// ModelTrust is trust-scored path selection (the trust-based secure
+	// multipath defence of arXiv 2006.01404): every node keeps
+	// per-neighbour trust scores fed by forwarding evidence — watchdog
+	// overhearing, MAC link failures — and all four protocols fold the
+	// scores into path selection as a trust-weighted cost, routing around
+	// low-trust links (wormhole endpoints, rushers that turn dropper,
+	// black/grayholes).
+	ModelTrust = "trust"
 )
 
 // Models lists every selectable countermeasure model.
 func Models() []string {
-	return []string{ModelNone, ModelShuffle, ModelAware, ModelShuffleAware}
+	return []string{ModelNone, ModelShuffle, ModelAware, ModelShuffleAware, ModelTrust}
 }
 
 // Spec declares a countermeasure in a scenario configuration. The zero
@@ -71,12 +79,17 @@ type Spec struct {
 	// (fastest) path loses a switch only to a path whose first-hop
 	// forwarding share is more than Penalty lower. 0 means 0.15.
 	Penalty float64
+	// Threshold is the trust model's distrust cutoff: a neighbour whose
+	// score falls below it is routed around when an alternative exists.
+	// 0 means 0.35.
+	Threshold float64
 }
 
 // IsZero reports whether the spec is the all-default no-countermeasure
 // baseline.
 func (s Spec) IsZero() bool {
-	return s.Model == "" && s.Depth == 0 && s.Hold == 0 && s.Penalty == 0
+	return s.Model == "" && s.Depth == 0 && s.Hold == 0 && s.Penalty == 0 &&
+		s.Threshold == 0
 }
 
 // EffectiveModel resolves an empty Model to ModelNone.
@@ -98,6 +111,9 @@ func (s Spec) Aware() bool {
 	m := s.EffectiveModel()
 	return m == ModelAware || m == ModelShuffleAware
 }
+
+// Trusts reports whether the spec asks for trust-scored path selection.
+func (s Spec) Trusts() bool { return s.EffectiveModel() == ModelTrust }
 
 // EffectiveDepth returns the shuffle block size the spec asks for.
 func (s Spec) EffectiveDepth() int {
@@ -123,11 +139,23 @@ func (s Spec) EffectivePenalty() float64 {
 	return s.Penalty
 }
 
+// EffectiveThreshold returns the trust model's distrust cutoff.
+func (s Spec) EffectiveThreshold() float64 {
+	if s.Threshold <= 0 {
+		return 0.35
+	}
+	return s.Threshold
+}
+
 // Validate rejects knobs the selected model would silently ignore — a
 // shuffle experiment mistyped as "aware" must fail loudly, not report
 // undefended contiguity numbers (the same contract adversary.Build
 // enforces for DropRate/Interval).
 func (s Spec) Validate() error {
+	if s.Threshold != 0 && s.EffectiveModel() != ModelTrust {
+		return fmt.Errorf("countermeasure: Threshold applies to %q only, not %q",
+			ModelTrust, s.EffectiveModel())
+	}
 	switch m := s.EffectiveModel(); m {
 	case ModelNone:
 		if s.Depth != 0 || s.Hold != 0 || s.Penalty != 0 {
@@ -144,6 +172,10 @@ func (s Spec) Validate() error {
 				ModelShuffle, ModelShuffleAware, m)
 		}
 	case ModelShuffleAware:
+	case ModelTrust:
+		if s.Depth != 0 || s.Hold != 0 || s.Penalty != 0 {
+			return fmt.Errorf("countermeasure: model %q takes only the Threshold knob", m)
+		}
 	default:
 		return fmt.Errorf("countermeasure: unknown model %q", s.Model)
 	}
@@ -165,6 +197,9 @@ func (s Spec) Label() string {
 	}
 	if s.Aware() && s.Penalty > 0 {
 		lbl += fmt.Sprintf("@p%g", s.Penalty)
+	}
+	if s.Trusts() && s.Threshold > 0 {
+		lbl += fmt.Sprintf("@t%g", s.Threshold)
 	}
 	return lbl
 }
@@ -224,6 +259,11 @@ func (Passive) Retire() {}
 func Build(spec Spec, sources []Host, rng *sim.RNG) (Countermeasure, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Trusts() {
+		// Trust wants a table on EVERY node, not just the traffic sources;
+		// the scenario builder attaches it via NewTrustDefence.
+		return nil, fmt.Errorf("countermeasure: model %q is built with NewTrustDefence, not Build", ModelTrust)
 	}
 	if !spec.Shuffles() {
 		return Passive{model: spec.EffectiveModel()}, nil

@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
+	"mtsim/internal/metrics"
+	"mtsim/internal/runcache"
+	"mtsim/internal/scenario"
+	"mtsim/internal/sim"
+)
+
+// coevBase is the 50-node golden-scenario field at a short horizon: big
+// enough to be connected (smaller defaults routinely partition at these
+// seeds) so the payoff components are non-degenerate, short enough that a
+// whole game stays in test budget.
+func coevBase() scenario.Config {
+	cfg := scenario.DefaultConfig()
+	cfg.Duration = 8 * sim.Second
+	cfg.TCPStart = sim.Time(2 * sim.Second)
+	return cfg
+}
+
+func coevGame(t *testing.T, cache Cache) Coevolution {
+	t.Helper()
+	return Coevolution{
+		Base:     coevBase(),
+		Protocol: "MTS",
+		Speed:    10,
+		Attackers: []adversary.Spec{
+			{Model: adversary.ModelEavesdropper},
+			{Model: adversary.ModelWormhole},
+			{Model: adversary.ModelRushing, K: 2},
+		},
+		Defenders: []countermeasure.Spec{
+			{},
+			{Model: countermeasure.ModelShuffle},
+			{Model: countermeasure.ModelTrust},
+		},
+		Reps:     1,
+		SeedBase: 5,
+		Cache:    cache,
+	}
+}
+
+// TestCoevolutionConverges is the harness acceptance check: the iterated
+// best-response game reaches a pure-strategy fixed point within the round
+// budget, records a coherent move history, and — because the simulator,
+// the scan orders and the cache are all deterministic — two same-seed
+// games render byte-identical payoff tables and CSVs.
+func TestCoevolutionConverges(t *testing.T) {
+	cacheDir := t.TempDir()
+	play := func(dir string) *CoevolutionResult {
+		store, err := runcache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := coevGame(t, store).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res := play(cacheDir)
+	if !res.Converged {
+		t.Fatalf("game did not converge in %d rounds:\n%s", res.Rounds, res.PayoffTable())
+	}
+	if res.Rounds < 1 || res.Rounds > 8 {
+		t.Fatalf("implausible round count %d", res.Rounds)
+	}
+	if res.Attacker < 0 || res.Attacker >= 3 || res.Defender < 0 || res.Defender >= 3 {
+		t.Fatalf("equilibrium indices out of range: (%d, %d)", res.Attacker, res.Defender)
+	}
+	// Every round logs exactly one attacker and one defender move, and the
+	// final round moves neither (the convergence definition).
+	if len(res.Moves) != 2*res.Rounds {
+		t.Fatalf("%d moves over %d rounds", len(res.Moves), res.Rounds)
+	}
+	last2 := res.Moves[len(res.Moves)-2:]
+	for _, m := range last2 {
+		if m.From != m.To {
+			t.Fatalf("final round still moved %s: %+v", m.Player, m)
+		}
+	}
+	// The equilibrium cell was evaluated and starred in the table.
+	if _, ok := res.Payoffs[[2]int{res.Attacker, res.Defender}]; !ok {
+		t.Fatal("equilibrium cell missing from the payoff matrix")
+	}
+	table := res.PayoffTable()
+	if !strings.Contains(table, "*") || !strings.Contains(table, "converged") {
+		t.Fatalf("payoff table lacks equilibrium mark:\n%s", table)
+	}
+	csv := res.PayoffCSV()
+	if !strings.HasPrefix(csv, "attacker,defender,delivery,intercepted_stream_ratio,throughput_kbps,score\n") {
+		t.Fatalf("payoff CSV header:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 1+len(res.Payoffs) {
+		t.Fatalf("payoff CSV rows do not match evaluated cells:\n%s", csv)
+	}
+
+	// Same-seed replay, fresh cache directory: bit-identical game.
+	res2 := play(t.TempDir())
+	if got, want := res2.PayoffTable(), table; got != want {
+		t.Errorf("same-seed payoff tables diverge:\n--- run1\n%s\n--- run2\n%s", want, got)
+	}
+	if got, want := res2.PayoffCSV(), csv; got != want {
+		t.Errorf("same-seed payoff CSVs diverge:\n--- run1\n%s\n--- run2\n%s", want, got)
+	}
+	if got, want := res2.History(), res.History(); got != want {
+		t.Errorf("same-seed move histories diverge:\n--- run1\n%s\n--- run2\n%s", want, got)
+	}
+
+	// Replaying over the FIRST game's warm cache must also be identical —
+	// and free: every cell the game revisits is a hit, zero simulations.
+	var simulated int64
+	warm := coevGame(t, mustOpen(t, cacheDir))
+	warm.Runner = func(ctx *scenario.Context, cfg scenario.Config, w Watchdog) (*metrics.RunMetrics, error) {
+		atomic.AddInt64(&simulated, 1)
+		return DefaultRunner(ctx, cfg, w)
+	}
+	res3, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != 0 {
+		t.Errorf("warm-cache replay re-simulated %d cells", simulated)
+	}
+	if res3.PayoffTable() != table {
+		t.Errorf("warm-cache replay diverges from the original game")
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *runcache.Store {
+	t.Helper()
+	store, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestCoevolutionValidation: degenerate games are rejected loudly.
+func TestCoevolutionValidation(t *testing.T) {
+	c := Coevolution{Base: coevBase(), Protocol: "MTS", Reps: 1}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("empty strategy sets accepted")
+	}
+	c.Attackers = []adversary.Spec{{}}
+	c.Defenders = []countermeasure.Spec{{}}
+	c.Reps = 0
+	if _, err := c.Run(); err == nil {
+		t.Fatal("Reps=0 accepted")
+	}
+}
+
+// BenchmarkPayoffTable renders the payoff table and CSV from a pre-built
+// result — the reporting hot path the coevolution CLI hits after every
+// game (CI asserts this benchmark stays in the bench manifest).
+func BenchmarkPayoffTable(b *testing.B) {
+	res := &CoevolutionResult{
+		Attacker:       1,
+		Defender:       2,
+		Rounds:         3,
+		Converged:      true,
+		AttackerLabels: []string{"eavesdropper×1", "wormhole×2", "rushing×2", "adaptive×3"},
+		DefenderLabels: []string{"", "shuffle×8", "trust", "shuffle+aware×8"},
+		Payoffs:        map[[2]int]*Payoff{},
+	}
+	for ai := 0; ai < 4; ai++ {
+		for di := 0; di < 4; di++ {
+			res.Payoffs[[2]int{ai, di}] = &Payoff{
+				Delivery:       0.9 - 0.1*float64(ai),
+				Intercept:      0.2 * float64(di),
+				ThroughputKbps: 120 + float64(ai*di),
+				Score:          0.9 - 0.1*float64(ai) - 0.2*float64(di),
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(res.PayoffTable()) == 0 || len(res.PayoffCSV()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"mtsim/internal/adversary"
+	"mtsim/internal/countermeasure"
 	"mtsim/internal/experiment"
 	"mtsim/internal/runcache"
 	"mtsim/internal/scenario"
@@ -286,5 +288,93 @@ func TestFaultSelectionDeterministic(t *testing.T) {
 	}
 	if !differs {
 		t.Fatal("different chaos seeds selected identical faults for 16 cells")
+	}
+}
+
+// chaosGame is the co-evolution loop over the chaos grid: two
+// route-discovery attackers against the defence built for them, small
+// enough that a full game (plus retried faults) stays in chaos-lane
+// budget.
+func chaosGame() experiment.Coevolution {
+	return experiment.Coevolution{
+		Base:     chaosBase(),
+		Protocol: "MTS",
+		Speed:    10,
+		Attackers: []adversary.Spec{
+			{Model: adversary.ModelEavesdropper},
+			{Model: adversary.ModelWormhole},
+		},
+		Defenders: []countermeasure.Spec{
+			{},
+			{Model: countermeasure.ModelTrust},
+		},
+		Reps:     1,
+		SeedBase: 3,
+	}
+}
+
+// TestChaosCoevolutionBitIdentical extends the headline property to the
+// attacker–defender loop: a game whose cell evaluations panic, error and
+// tear cache writes under seeded chaos must converge to the same
+// equilibrium with a byte-identical payoff table, CSV and move history as
+// the fault-free game — the best-response scan never sees a faulted
+// number because retries re-run deterministic cells and the cache
+// degrades instead of lying.
+func TestChaosCoevolutionBitIdentical(t *testing.T) {
+	clean, err := chaosGame().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Converged {
+		t.Fatalf("fault-free game did not converge:\n%s", clean.PayoffTable())
+	}
+
+	store, err := runcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &FlakyCache{
+		Store:  store,
+		Faults: CacheFaults{Seed: 5, PutErrRate: 0.4, TearRate: 0.4, GetErrRate: 0.3},
+	}
+	inj := New(Plan{
+		Seed:            5,
+		PanicRate:       0.35,
+		ErrorRate:       0.35,
+		SlowRate:        0.3,
+		FailuresPerCell: 2,
+	})
+	g := chaosGame()
+	g.Cache = flaky
+	g.Runner = inj.Runner(nil)
+	g.Retry = experiment.RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond, Sleep: func(time.Duration) {}}
+	faulted, err := g.Run()
+	if err != nil {
+		t.Fatalf("chaos game errored despite retries: %v", err)
+	}
+
+	panics, errs, slows := inj.Counts()
+	if panics+errs+slows == 0 {
+		t.Fatal("chaos plan faulted no cell of this game — re-pick the seed")
+	}
+	putErrs, tears, getErrs := flaky.Counts()
+	t.Logf("injected: %d panics, %d errors, %d slow runs; cache: %d put errors, %d torn writes, %d read misses",
+		panics, errs, slows, putErrs, tears, getErrs)
+	if putErrs+tears+getErrs == 0 {
+		t.Fatal("cache chaos missed every cell — re-pick the seed")
+	}
+
+	if got, want := faulted.PayoffTable(), clean.PayoffTable(); got != want {
+		t.Errorf("chaos game's payoff table differs from the fault-free game\nclean:\n%s\nchaos:\n%s", want, got)
+	}
+	if got, want := faulted.PayoffCSV(), clean.PayoffCSV(); got != want {
+		t.Errorf("chaos game's payoff CSV differs from the fault-free game")
+	}
+	if got, want := faulted.History(), clean.History(); got != want {
+		t.Errorf("chaos game's move history differs\nclean:\n%s\nchaos:\n%s", want, got)
+	}
+	if faulted.Attacker != clean.Attacker || faulted.Defender != clean.Defender {
+		t.Errorf("chaos equilibrium (%d,%d) differs from clean (%d,%d)",
+			faulted.Attacker, faulted.Defender, clean.Attacker, clean.Defender)
 	}
 }

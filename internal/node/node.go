@@ -58,6 +58,46 @@ type Node struct {
 	// here and releases them later through Inject). Defensive mirror of
 	// DropFilter; ordinary nodes leave it nil.
 	OriginateFilter func(p *packet.Packet) bool
+
+	// RouteFilter, when set, vets every *control* packet (RREQ/RREP/RERR
+	// and MTS checking traffic) on its way to the MAC, and may rewrite the
+	// broadcast jitter of deferred control sends. Route-discovery attacks
+	// (wormhole tunnelling, rushing) install it; legitimate nodes leave it
+	// nil. The data plane never passes through it, so the arena contract
+	// for data packets is untouched.
+	RouteFilter RouteFilter
+
+	// trust, when set, observes forwarding evidence (sends handed to the
+	// MAC, link failures, overheard relays via the promiscuous tap) and
+	// answers routing.TrustCarrier queries. Installed by the trust
+	// countermeasure; nil on undefended nodes.
+	trust TrustMonitor
+}
+
+// RouteFilter intercepts control-plane transmissions. FilterRoute
+// returning true means the filter took ownership of the packet — the
+// node neither transmits nor releases it (the wormhole tunnels it to the
+// far endpoint and releases it there). RouteJitter may rewrite the
+// jitter of a deferred control send (the rushing attack returns 0 so the
+// compromised relay's rebroadcast wins the duplicate-suppression race);
+// the protocol has already drawn its jitter from its RNG by the time
+// this runs, so RNG streams are unperturbed either way.
+type RouteFilter interface {
+	FilterRoute(p *packet.Packet, next packet.NodeID) bool
+	RouteJitter(p *packet.Packet, d sim.Duration) sim.Duration
+}
+
+// TrustMonitor is the node-facing surface of a per-neighbour trust table:
+// a routing.TrustOracle that additionally ingests the forwarding evidence
+// this node can observe first-hand.
+type TrustMonitor interface {
+	routing.TrustOracle
+	// NoteSend records that a unicast data packet was handed to the MAC
+	// with the given next hop — the start of a forwarding obligation the
+	// monitor will hold the neighbour to.
+	NoteSend(p *packet.Packet, next packet.NodeID)
+	// NoteLinkFailure records MAC retry exhaustion toward next.
+	NoteLinkFailure(next packet.NodeID)
 }
 
 // FrameTap is implemented by routing protocols that listen promiscuously
@@ -121,6 +161,29 @@ func (n *Node) InstallOriginateFilter(f func(p *packet.Packet) bool) {
 	n.OriginateFilter = f
 }
 
+// InstallRouteFilter sets RouteFilter (adversary control-plane attacks).
+func (n *Node) InstallRouteFilter(f RouteFilter) { n.RouteFilter = f }
+
+// InstallTrust binds the trust countermeasure's monitor to this node and
+// wires its promiscuous evidence feed. The monitor then answers Trust()
+// queries from the routing protocol.
+func (n *Node) InstallTrust(m TrustMonitor) {
+	n.trust = m
+	if tap, ok := m.(FrameTap); ok {
+		n.AddTap(tap.TapFrame)
+	}
+}
+
+// Trust implements routing.TrustCarrier. The two-step nil check matters:
+// a nil *concrete* monitor stored in the interface field would otherwise
+// leak out as a non-nil routing.TrustOracle.
+func (n *Node) Trust() routing.TrustOracle {
+	if n.trust == nil {
+		return nil
+	}
+	return n.trust
+}
+
 // AddTap registers a promiscuous frame listener (eavesdropper, snooping
 // protocols, trace writers). Multiple listeners are supported.
 func (n *Node) AddTap(h func(f *packet.Frame)) {
@@ -181,6 +244,9 @@ func (n *Node) Deliver(p *packet.Packet, from packet.NodeID) {
 
 // LinkFailed implements mac.Upper.
 func (n *Node) LinkFailed(p *packet.Packet, next packet.NodeID) {
+	if n.trust != nil {
+		n.trust.NoteLinkFailure(next)
+	}
 	if n.Proto != nil {
 		n.Proto.LinkFailed(p, next)
 	}
@@ -206,6 +272,12 @@ func (n *Node) SendMac(p *packet.Packet, next packet.NodeID) {
 		n.NotifyDrop(p, "adversary")
 		n.arena.Release(p)
 		return
+	}
+	if n.RouteFilter != nil && p.Kind.IsControl() && n.RouteFilter.FilterRoute(p, next) {
+		return // filter took ownership (tunnelled; released at the far end)
+	}
+	if n.trust != nil && next != packet.Broadcast && p.Kind == packet.KindData {
+		n.trust.NoteSend(p, next)
 	}
 	n.Mac.Send(p, next)
 }
@@ -245,6 +317,9 @@ func (n *Node) forgetDelayed(d *delayedSend) {
 // task event (protocol broadcast jitter used to burn one closure + event
 // allocation per flooded hop).
 func (n *Node) SendMacAfter(d sim.Duration, p *packet.Packet, next packet.NodeID) {
+	if n.RouteFilter != nil && p.Kind.IsControl() {
+		d = n.RouteFilter.RouteJitter(p, d)
+	}
 	ds := n.dsPool.Get()
 	ds.n, ds.p, ds.next = n, p, next
 	ds.h = n.sched.AfterTaskCancellable(d, ds, 0)
@@ -306,4 +381,5 @@ var (
 	_ routing.Env             = (*Node)(nil)
 	_ routing.ArenaCarrier    = (*Node)(nil)
 	_ routing.RecyclerCarrier = (*Node)(nil)
+	_ routing.TrustCarrier    = (*Node)(nil)
 )

@@ -116,9 +116,10 @@ type discovery struct {
 
 // Router is one node's AODV instance.
 type Router struct {
-	env routing.Env
-	cfg Config
-	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
+	env   routing.Env
+	cfg   Config
+	ar    *packet.Arena // the env's packet arena (nil: plain allocation)
+	trust routing.TrustOracle // nil: legacy behaviour, bit-for-bit
 
 	seq uint32
 	bid uint32
@@ -172,6 +173,7 @@ func New(env routing.Env, cfg Config) *Router {
 		env:     env,
 		cfg:     cfg,
 		ar:      ar,
+		trust:   routing.TrustOf(env),
 		table:   make(map[packet.NodeID]*routeEntry),
 		seen:    make(map[rreqKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
@@ -186,6 +188,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.trust = routing.TrustOf(env)
 	r.mp.Rebind(env.ID())
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
@@ -207,6 +210,7 @@ func (r *Router) RecycleInto(rec *routing.Recycler) {
 	r.seq, r.bid = 0, 0
 	r.Discoveries, r.RERRsSent, r.Repairs = 0, 0, 0
 	r.env = nil
+	r.trust = nil
 	rec.Put(recycleKey, r)
 }
 
@@ -250,7 +254,17 @@ func (r *Router) touch(e *routeEntry) {
 // update installs or refreshes a route if the new information is fresher
 // (higher sequence number) or equally fresh but shorter — the AODV
 // loop-freedom rule.
+//
+// With the trust defence active, an offer through a low-trust neighbour
+// is inflated by the neighbour's distrust penalty before it competes, so
+// equally fresh routes through clean neighbours win even at more real
+// hops. Inflation only ever *increases* this node's stored (and onward
+// advertised) distance, so AODV's strictly-decreasing-distance loop
+// invariant is preserved.
 func (r *Router) update(dst, next packet.NodeID, hops int, seq uint32, validSeq bool) *routeEntry {
+	if r.trust != nil {
+		hops += int(r.trust.Cost(next) + 0.5)
+	}
 	e := r.table[dst]
 	if e == nil {
 		e = r.newEntry()

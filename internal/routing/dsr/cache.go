@@ -139,6 +139,26 @@ func (c *routeCache) GetForFlow(dst packet.NodeID, flow uint64) []packet.NodeID 
 	return c.routes[idx]
 }
 
+// GetTrusted returns the cached route to dst minimising trust-weighted
+// cost: hop count plus the oracle's per-relay distrust penalty summed
+// over the route's intermediate nodes. Strictly-first minimum wins, so
+// selection is deterministic in cache order. The returned slice obeys
+// Get's aliasing rules.
+func (c *routeCache) GetTrusted(dst packet.NodeID, oracle routing.TrustOracle) []packet.NodeID {
+	var best []packet.NodeID
+	bestCost := 0.0
+	for _, r := range c.routes {
+		if r[len(r)-1] != dst {
+			continue
+		}
+		cost := routing.TrustCost(oracle, r)
+		if best == nil || cost < bestCost {
+			best, bestCost = r, cost
+		}
+	}
+	return best
+}
+
 // GetAvoidingLink returns the shortest route to dst that does not traverse
 // the directed link a→b (nor b→a); used for salvaging.
 func (c *routeCache) GetAvoidingLink(dst, a, b packet.NodeID) []packet.NodeID {

@@ -83,9 +83,10 @@ type discovery struct {
 
 // Router is one node's DSR instance.
 type Router struct {
-	env routing.Env
-	cfg Config
-	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
+	env   routing.Env
+	cfg   Config
+	ar    *packet.Arena // the env's packet arena (nil: plain allocation)
+	trust routing.TrustOracle // nil: legacy selection, bit-for-bit
 
 	cache   *routeCache
 	reqID   uint32
@@ -128,6 +129,7 @@ func New(env routing.Env, cfg Config) *Router {
 		env:     env,
 		cfg:     cfg,
 		ar:      ar,
+		trust:   routing.TrustOf(env),
 		cache:   newRouteCache(env.ID(), cfg.CachePerDst, cfg.CacheGlobal, ar),
 		seen:    make(map[seenKey]bool),
 		pending: make(map[packet.NodeID]*discovery),
@@ -141,6 +143,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.trust = routing.TrustOf(env)
 	r.cache.rebind(env.ID(), cfg.CachePerDst, cfg.CacheGlobal, ar)
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
@@ -160,6 +163,7 @@ func (r *Router) RecycleInto(rec *routing.Recycler) {
 	r.pathBuf = r.pathBuf[:0]
 	r.Discoveries, r.CacheReplies, r.Salvages, r.SnoopedRoutes = 0, 0, 0, 0
 	r.env = nil
+	r.trust = nil
 	rec.Put(recycleKey, r)
 }
 
@@ -184,12 +188,24 @@ func (r *Router) Send(p *packet.Packet) {
 		r.ar.Release(p)
 		return
 	}
-	if route := r.cache.GetForFlow(p.Dst, routing.FlowKey(p)); route != nil {
+	if route := r.pickRoute(p.Dst, routing.FlowKey(p)); route != nil {
 		r.sendAlong(p, route)
 		return
 	}
 	r.buffer.Push(p.Dst, p)
 	r.startDiscovery(p.Dst)
+}
+
+// pickRoute selects the route for one of this node's own packets: the
+// legacy ECMP hash-spread among equal-shortest routes, or — when the
+// trust defence is active — the lowest trust-weighted cost route, so
+// traffic routes around neighbours observed dropping (wormhole endpoints,
+// black/grayholes).
+func (r *Router) pickRoute(dst packet.NodeID, flow uint64) []packet.NodeID {
+	if r.trust == nil {
+		return r.cache.GetForFlow(dst, flow)
+	}
+	return r.cache.GetTrusted(dst, r.trust)
 }
 
 // sendAlong stamps the source route onto p and transmits to the first hop.
@@ -258,7 +274,7 @@ func (r *Router) completeDiscovery(dst packet.NodeID) {
 	// Per-packet lookup: equally short routes spread across the buffered
 	// flows instead of all draining down one.
 	for _, q := range r.buffer.Pop(dst) {
-		r.sendAlong(q, r.cache.GetForFlow(dst, routing.FlowKey(q)))
+		r.sendAlong(q, r.pickRoute(dst, routing.FlowKey(q)))
 	}
 }
 
@@ -516,7 +532,7 @@ func (r *Router) LinkFailed(p *packet.Packet, next packet.NodeID) {
 		// Our own packet: retry via another cached route or rediscover.
 		// GetForFlow re-hashes over whatever survived RemoveLink, so a flow
 		// whose pinned route just broke lands on a surviving equal-cost one.
-		if route := r.cache.GetForFlow(p.Dst, routing.FlowKey(p)); route != nil {
+		if route := r.pickRoute(p.Dst, routing.FlowKey(p)); route != nil {
 			r.sendAlong(p, route)
 			return
 		}

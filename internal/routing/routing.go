@@ -85,6 +85,52 @@ type Retirer interface {
 	Retire()
 }
 
+// TrustOracle scores next-hop neighbours from forwarding evidence (the
+// trust countermeasure, internal/countermeasure). Protocols consult it at
+// path-selection time; a nil oracle means every neighbour is fully
+// trusted and selection behaves exactly as before the oracle existed.
+type TrustOracle interface {
+	// Distrusted reports whether the neighbour's score has fallen below
+	// the distrust threshold — paths through it should be avoided when an
+	// alternative exists.
+	Distrusted(neighbour packet.NodeID) bool
+	// Cost returns an additive path-cost penalty for routing through the
+	// neighbour: 0 for a fully trusted hop, growing as evidence of
+	// dropped traffic accumulates. Deterministic (pure function of the
+	// evidence seen so far).
+	Cost(neighbour packet.NodeID) float64
+}
+
+// TrustCarrier is implemented by environments that carry a trust oracle
+// (node.Node when the trust countermeasure is active).
+type TrustCarrier interface {
+	Trust() TrustOracle
+}
+
+// TrustOf resolves env's trust oracle, or nil when env does not carry one
+// (the common, undefended case).
+func TrustOf(env Env) TrustOracle {
+	if c, ok := env.(TrustCarrier); ok {
+		return c.Trust()
+	}
+	return nil
+}
+
+// TrustCost scores a complete source route under a trust oracle: its hop
+// count plus the oracle's penalty for every intermediate relay (the
+// endpoints do not forward). Shared by the source-routed protocols'
+// trusted path selection.
+func TrustCost(oracle TrustOracle, route []packet.NodeID) float64 {
+	cost := float64(len(route))
+	if len(route) < 2 {
+		return cost
+	}
+	for _, hop := range route[1 : len(route)-1] {
+		cost += oracle.Cost(hop)
+	}
+	return cost
+}
+
 // SeqNewer reports whether sequence number a is fresher than b using
 // signed 32-bit wraparound comparison (AODV-style).
 func SeqNewer(a, b uint32) bool { return int32(a-b) > 0 }

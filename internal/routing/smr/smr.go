@@ -113,9 +113,10 @@ type discovery struct {
 
 // Router is one node's SMR instance.
 type Router struct {
-	env routing.Env
-	cfg Config
-	ar  *packet.Arena // the env's packet arena (nil: plain allocation)
+	env   routing.Env
+	cfg   Config
+	ar    *packet.Arena // the env's packet arena (nil: plain allocation)
+	trust routing.TrustOracle // nil: legacy selection, bit-for-bit
 
 	reqID   uint32
 	seen    map[seenKey]*rreqSeen
@@ -178,6 +179,7 @@ func New(env routing.Env, cfg Config) *Router {
 		env:     env,
 		cfg:     cfg,
 		ar:      ar,
+		trust:   routing.TrustOf(env),
 		seen:    make(map[seenKey]*rreqSeen),
 		collect: make(map[packet.NodeID]*collectState),
 		pending: make(map[packet.NodeID]*discovery),
@@ -193,6 +195,7 @@ func New(env routing.Env, cfg Config) *Router {
 func (r *Router) rebind(env routing.Env, cfg Config) {
 	ar := routing.ArenaOf(env)
 	r.env, r.cfg, r.ar = env, cfg, ar
+	r.trust = routing.TrustOf(env)
 	r.mp.Rebind(env.ID())
 	r.buffer.Rebind(env.Scheduler(), cfg.SendBufCap, cfg.SendBufAge, ar,
 		func(p *packet.Packet, reason string) { env.NotifyDrop(p, reason) })
@@ -212,6 +215,7 @@ func (r *Router) RecycleInto(rec *routing.Recycler) {
 	r.reqID = 0
 	r.Discoveries, r.SecondRoutes, r.SplitToggles = 0, 0, 0
 	r.env = nil
+	r.trust = nil
 	rec.Put(recycleKey, r)
 }
 
@@ -287,6 +291,19 @@ func (r *Router) Send(p *packet.Packet) {
 // different flows spread across both. An unequal pair keeps strict
 // primary/standby semantics.
 func (r *Router) pickRoute(dst packet.NodeID, rs *routeSet, flow uint64) []packet.NodeID {
+	// Trust defence: both modes collapse to the route with the lowest
+	// trust-weighted cost (hop count plus per-relay distrust penalty) —
+	// a split that keeps feeding a distrusted relay half the stream would
+	// defeat the defence, so trusted selection supersedes alternation.
+	if r.trust != nil && len(rs.routes) > 1 {
+		best, bestCost := rs.routes[0], routing.TrustCost(r.trust, rs.routes[0])
+		for _, route := range rs.routes[1:] {
+			if c := routing.TrustCost(r.trust, route); c < bestCost {
+				best, bestCost = route, c
+			}
+		}
+		return best
+	}
 	if r.cfg.Mode == ModeBackup || len(rs.routes) == 1 {
 		if len(rs.routes) > 1 && len(rs.routes[1]) == len(rs.routes[0]) {
 			if !r.mp.Ready(dst) {

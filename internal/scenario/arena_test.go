@@ -76,6 +76,12 @@ func TestArenaLeakAccountingAllProtocols(t *testing.T) {
 		"mobile":    {Model: adversary.ModelMobile, K: 3, Interval: 2 * sim.Second},
 		"blackhole": {Model: adversary.ModelBlackhole, K: 2},
 		"grayhole":  {Model: adversary.ModelGrayhole, K: 2, DropRate: 0.5},
+		// The route-discovery attackers hold state of their own: adaptive
+		// re-taps on a timer, the wormhole claims control packets into its
+		// tunnel (Retire must drain any still in flight at the horizon).
+		"adaptive": {Model: adversary.ModelAdaptive, K: 3, Interval: 2 * sim.Second},
+		"wormhole": {Model: adversary.ModelWormhole},
+		"rushing":  {Model: adversary.ModelRushing, K: 2},
 	}
 	ctx := NewContext()
 	for _, proto := range AllProtocols() {
@@ -124,6 +130,11 @@ func TestArenaLeakAccountingCountermeasures(t *testing.T) {
 		// in the shuffler at the horizon; Retire must release them.
 		{"mts/stranded-blocks", "MTS", countermeasure.Spec{
 			Model: countermeasure.ModelShuffle, Depth: 64, Hold: 2 * sim.Second}},
+		// Trust attaches a monitor to every node (watchdog obligations are
+		// plain state, no packet custody) — the ledger must still close on
+		// both a source-routed and a table-driven protocol.
+		{"dsr/trust", "DSR", countermeasure.Spec{Model: countermeasure.ModelTrust}},
+		{"mts/trust", "MTS", countermeasure.Spec{Model: countermeasure.ModelTrust}},
 	}
 	ctx := NewContext()
 	for _, tc := range cases {

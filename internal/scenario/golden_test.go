@@ -70,10 +70,25 @@ func goldenCases() []goldenCase {
 	shuffle.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelShuffle}
 	aware := coalition()
 	aware.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelAware}
+	// The attacker–defender matchups of the co-evolution loop: trust
+	// against the route-discovery attacks it was built for, shuffle
+	// against the tap that re-positions toward observed traffic.
+	trustWormhole := goldenConfig("DSR")
+	trustWormhole.Adversary = adversary.Spec{Model: adversary.ModelWormhole}
+	trustWormhole.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelTrust}
+	trustRushing := goldenConfig("AODV")
+	trustRushing.Adversary = adversary.Spec{Model: adversary.ModelRushing, K: 2}
+	trustRushing.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelTrust}
+	shuffleAdaptive := goldenConfig("MTS")
+	shuffleAdaptive.Adversary = adversary.Spec{Model: adversary.ModelAdaptive, Interval: 2 * sim.Second}
+	shuffleAdaptive.Countermeasure = countermeasure.Spec{Model: countermeasure.ModelShuffle}
 	return append(cases,
 		goldenCase{"mts-coalition", base},
 		goldenCase{"mts-coalition-shuffle", shuffle},
 		goldenCase{"mts-coalition-aware", aware},
+		goldenCase{"dsr-wormhole-trust", trustWormhole},
+		goldenCase{"aodv-rushing-trust", trustRushing},
+		goldenCase{"mts-adaptive-shuffle", shuffleAdaptive},
 	)
 }
 

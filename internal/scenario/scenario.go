@@ -166,6 +166,11 @@ func (s *Scenario) Retire() {
 		// custody; release them before the nodes close their books.
 		s.Countermeasure.Retire()
 	}
+	if ret, ok := s.Adversary.(routing.Retirer); ok {
+		// Wormhole tunnels hold claimed control packets in flight between
+		// their endpoints; same obligation as the shuffle buffers above.
+		ret.Retire()
+	}
 	for _, nd := range s.Nodes {
 		nd.Retire()
 	}
@@ -322,6 +327,14 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 	if cmSpec.Aware() {
 		mtsCfg.AwarePenalty = cmSpec.EffectivePenalty()
 	}
+	// The trust defence attaches a monitor to EVERY node (each scores its
+	// own neighbours), and must do so before protocols are constructed —
+	// routers capture the node's trust oracle at New time. It draws no RNG,
+	// so legacy streams are untouched.
+	var trustDef *countermeasure.TrustDefence
+	if cmSpec.Trusts() {
+		trustDef = countermeasure.NewTrustDefence(cmSpec.EffectiveThreshold())
+	}
 
 	s := &Scenario{Cfg: cfg}
 	if ctx != nil {
@@ -381,6 +394,10 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 			// Before SetProtocol: the constructor is what takes a parked
 			// router back out of the recycler.
 			nd.SetStateRecycler(&ctx.routers)
+		}
+		if trustDef != nil {
+			// Also before SetProtocol (see above).
+			nd.InstallTrust(trustDef.Attach(id, s.Sched))
 		}
 
 		switch cfg.Protocol {
@@ -549,6 +566,10 @@ func build(ctx *Context, cfg Config) (*Scenario, error) {
 	// distinct flow sources in flow order.
 	if cmSpec.IsZero() {
 		s.Countermeasure = countermeasure.None()
+	} else if trustDef != nil {
+		// Already attached node-by-node above; Build would reject the model
+		// (it has no source-side shuffler to construct).
+		s.Countermeasure = trustDef
 	} else {
 		seenSrc := map[packet.NodeID]bool{}
 		var cmHosts []countermeasure.Host
@@ -642,6 +663,7 @@ func (s *Scenario) Gather() *metrics.RunMetrics {
 	m.CoalitionDistinct = s.Adversary.Distinct()
 	m.CoalitionFrames = s.Adversary.Frames()
 	m.AdversaryDropped = s.Adversary.Dropped()
+	m.AdversaryAttracted = s.Adversary.Attracted()
 
 	payload := s.Cfg.TCP.MSS
 	if s.Cfg.Traffic == "cbr" {
@@ -698,6 +720,11 @@ func (s *Scenario) Gather() *metrics.RunMetrics {
 			m.Extra["checks"] += p.Stats.ChecksSent
 			m.Extra["pathsStored"] += p.Stats.PathsStored
 		}
+	}
+	if td, ok := s.Countermeasure.(*countermeasure.TrustDefence); ok {
+		m.Extra["trustForwards"] = td.Forwards()
+		m.Extra["trustDrops"] = td.Drops()
+		m.Extra["trustDistrusted"] = td.DistrustedLinks()
 	}
 	return m
 }

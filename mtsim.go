@@ -81,6 +81,9 @@ const (
 	AdversaryMobile       = adversary.ModelMobile
 	AdversaryBlackhole    = adversary.ModelBlackhole
 	AdversaryGrayhole     = adversary.ModelGrayhole
+	AdversaryAdaptive     = adversary.ModelAdaptive
+	AdversaryWormhole     = adversary.ModelWormhole
+	AdversaryRushing      = adversary.ModelRushing
 )
 
 // AdversaryModels lists every selectable adversary model.
@@ -98,6 +101,7 @@ const (
 	CountermeasureShuffle      = countermeasure.ModelShuffle
 	CountermeasureAware        = countermeasure.ModelAware
 	CountermeasureShuffleAware = countermeasure.ModelShuffleAware
+	CountermeasureTrust        = countermeasure.ModelTrust
 )
 
 // CountermeasureModels lists every selectable countermeasure model.
@@ -156,6 +160,20 @@ type CellJob = experiment.CellJob
 // lookup before dispatch, persistence after completion. *RunCache
 // implements it; so do the sweep fabric's remote and tiered caches.
 type SweepCache = experiment.Cache
+
+// Coevolution is the iterated best-response harness closing the
+// attacker–defender loop: alternate attacker/defender moves over
+// cache-backed sweeps until the strategy pair reaches a fixed point of
+// the empirical payoff matrix.
+type Coevolution = experiment.Coevolution
+
+// CoevolutionResult is a completed co-evolution game: the equilibrium,
+// every payoff cell evaluated along the way, and the move history.
+type CoevolutionResult = experiment.CoevolutionResult
+
+// Payoff is one attacker × defender payoff cell (delivery, intercepted
+// contiguity, throughput, and the scalar defender score).
+type Payoff = experiment.Payoff
 
 // NewJournal wraps an existing writer as an attempt journal.
 func NewJournal(w io.Writer) *Journal { return experiment.NewJournal(w) }
